@@ -1,0 +1,202 @@
+//! MAQ-style consensus base and SNP calling from a pileup.
+//!
+//! At each covered position the four alleles are scored with a simple
+//! error-model likelihood over the aggregated weighted counts
+//! (`log L(a) = n_a·ln(1−ε) + (n − n_a)·ln(ε/3)`), the consensus is the
+//! maximum-likelihood allele, and its Phred-scaled quality is the posterior
+//! odds against the runner-up. A site is reported as a SNP when the
+//! consensus differs from the reference and clears fixed depth/quality
+//! cutoffs — deliberately *ad hoc* thresholds with no background test, as
+//! in the programs the paper compares against.
+
+use crate::pileup::Pileup;
+use genome::alphabet::Base;
+use genome::seq::DnaSeq;
+
+/// Fixed cutoffs for consensus SNP calling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsensusConfig {
+    /// Assumed per-base error rate of the pileup evidence.
+    pub error_rate: f64,
+    /// Minimum read depth to attempt a call.
+    pub min_depth: u32,
+    /// Minimum Phred-scaled consensus quality to report a SNP.
+    pub min_quality: f64,
+}
+
+impl Default for ConsensusConfig {
+    fn default() -> Self {
+        ConsensusConfig {
+            error_rate: 0.02,
+            min_depth: 3,
+            min_quality: 30.0,
+        }
+    }
+}
+
+/// A SNP reported by the baseline caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineSnp {
+    /// 0-based genome position.
+    pub pos: usize,
+    /// Reference base.
+    pub reference: Base,
+    /// Called consensus allele.
+    pub alt: Base,
+    /// Phred-scaled consensus quality.
+    pub quality: f64,
+    /// Read depth at the site.
+    pub depth: u32,
+}
+
+/// Log-likelihood of allele `a` given weighted counts.
+fn allele_log_lik(counts: &[f64; 4], a: usize, eps: f64) -> f64 {
+    let n: f64 = counts.iter().sum();
+    let na = counts[a];
+    na * (1.0 - eps).ln() + (n - na) * (eps / 3.0).ln()
+}
+
+/// Call SNPs across the genome.
+pub fn call_consensus_snps(
+    pileup: &Pileup,
+    reference: &DnaSeq,
+    config: &ConsensusConfig,
+) -> Vec<BaselineSnp> {
+    assert_eq!(pileup.len(), reference.len());
+    assert!((0.0..1.0).contains(&config.error_rate) && config.error_rate > 0.0);
+    let mut out = Vec::new();
+    for pos in 0..pileup.len() {
+        if pileup.depth(pos) < config.min_depth {
+            continue;
+        }
+        let Some(reference_base) = reference.get(pos) else {
+            continue;
+        };
+        let counts = pileup.counts(pos);
+        if counts.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
+        // Rank alleles by log-likelihood.
+        let mut order = [0usize, 1, 2, 3];
+        order.sort_by(|&x, &y| {
+            allele_log_lik(counts, y, config.error_rate)
+                .total_cmp(&allele_log_lik(counts, x, config.error_rate))
+        });
+        let best = order[0];
+        let runner = order[1];
+        if best == reference_base.index() {
+            continue;
+        }
+        // Phred-scaled odds of the consensus against the runner-up.
+        let ll_gap = allele_log_lik(counts, best, config.error_rate)
+            - allele_log_lik(counts, runner, config.error_rate);
+        let quality = 10.0 * ll_gap / std::f64::consts::LN_10;
+        if quality >= config.min_quality {
+            out.push(BaselineSnp {
+                pos,
+                reference: reference_base,
+                alt: Base::from_index(best),
+                quality,
+                depth: pileup.depth(pos),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::MaqHit;
+    use genome::read::SequencedRead;
+
+    fn hit(pos: usize) -> MaqHit {
+        MaqHit {
+            pos,
+            reverse: false,
+            mismatch_quality: 0,
+            mapping_quality: 60,
+        }
+    }
+
+    fn deposit(p: &mut Pileup, seq: &str, q: u8, pos: usize, times: usize) {
+        let r = SequencedRead::with_uniform_quality("r", seq.parse().unwrap(), q);
+        for _ in 0..times {
+            p.add_read(&r, &hit(pos));
+        }
+    }
+
+    #[test]
+    fn clean_snp_is_called() {
+        let reference: DnaSeq = "AAAAA".parse().unwrap();
+        let mut p = Pileup::new(5);
+        deposit(&mut p, "AGAAA", 30, 0, 10); // 10 reads say G at pos 1
+        let snps = call_consensus_snps(&p, &reference, &ConsensusConfig::default());
+        assert_eq!(snps.len(), 1);
+        assert_eq!(snps[0].pos, 1);
+        assert_eq!(snps[0].alt, Base::G);
+        assert_eq!(snps[0].depth, 10);
+        assert!(snps[0].quality > 100.0);
+    }
+
+    #[test]
+    fn reference_consensus_is_not_a_snp() {
+        let reference: DnaSeq = "ACGT".parse().unwrap();
+        let mut p = Pileup::new(4);
+        deposit(&mut p, "ACGT", 30, 0, 8);
+        assert!(call_consensus_snps(&p, &reference, &ConsensusConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn thin_coverage_is_skipped() {
+        let reference: DnaSeq = "AAA".parse().unwrap();
+        let mut p = Pileup::new(3);
+        deposit(&mut p, "AGA", 30, 0, 2); // depth 2 < min_depth 3
+        assert!(call_consensus_snps(&p, &reference, &ConsensusConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn contested_site_fails_the_quality_cutoff() {
+        let reference: DnaSeq = "AAA".parse().unwrap();
+        let mut p = Pileup::new(3);
+        // 5 reads say G, 5 say C at position 1: best vs runner-up gap ~ 0.
+        deposit(&mut p, "AGA", 30, 0, 5);
+        deposit(&mut p, "ACA", 30, 0, 5);
+        let snps = call_consensus_snps(&p, &reference, &ConsensusConfig::default());
+        assert!(snps.is_empty(), "tied evidence should not be called: {snps:?}");
+    }
+
+    #[test]
+    fn reference_n_sites_are_skipped() {
+        let reference: DnaSeq = "ANA".parse().unwrap();
+        let mut p = Pileup::new(3);
+        deposit(&mut p, "AGA", 30, 0, 10);
+        let snps = call_consensus_snps(&p, &reference, &ConsensusConfig::default());
+        assert!(snps.is_empty());
+    }
+
+    #[test]
+    fn quality_grows_with_depth() {
+        let reference: DnaSeq = "AAA".parse().unwrap();
+        let cfg = ConsensusConfig {
+            min_quality: 0.0,
+            ..ConsensusConfig::default()
+        };
+        let mut q_last = 0.0;
+        for depth in [3usize, 6, 12] {
+            let mut p = Pileup::new(3);
+            deposit(&mut p, "AGA", 30, 0, depth);
+            let snps = call_consensus_snps(&p, &reference, &cfg);
+            assert!(snps[0].quality > q_last);
+            q_last = snps[0].quality;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let reference: DnaSeq = "AAAA".parse().unwrap();
+        let p = Pileup::new(3);
+        let _ = call_consensus_snps(&p, &reference, &ConsensusConfig::default());
+    }
+}

@@ -1,0 +1,307 @@
+//! Single-best-location read mapping, MAQ style.
+//!
+//! Candidate placements come from the same k-mer index GNUMAP uses; each
+//! placement is scored *ungapped* by the sum of Phred qualities at
+//! mismatching positions (lower is better — MAQ's objective). The read is
+//! committed to the single best placement; ties are broken uniformly at
+//! random, and a mapping quality is derived from the best/second-best gap.
+
+use genome::index::{IndexConfig, KmerIndex};
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Configuration for the MAQ-style mapper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaqConfig {
+    /// Seed k-mer length.
+    pub k: usize,
+    /// Repeat cutoff for the k-mer index.
+    pub max_kmer_occurrences: usize,
+    /// Placements whose mismatch-quality sum exceeds this are rejected
+    /// (MAQ's default roughly corresponds to ~70 at three Q23+ mismatches).
+    pub max_mismatch_quality: u32,
+    /// Reads with mapping quality below this are discarded before pileup.
+    pub min_mapping_quality: u8,
+}
+
+impl Default for MaqConfig {
+    fn default() -> Self {
+        MaqConfig {
+            k: 10,
+            max_kmer_occurrences: 1024,
+            max_mismatch_quality: 120,
+            min_mapping_quality: 1,
+        }
+    }
+}
+
+/// A committed mapping of one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaqHit {
+    /// 0-based genome start of the placement.
+    pub pos: usize,
+    /// Whether the read mapped on the reverse strand.
+    pub reverse: bool,
+    /// Sum of qualities at mismatching bases (the score; lower = better).
+    pub mismatch_quality: u32,
+    /// Phred-scaled mapping confidence from the best/second-best gap,
+    /// capped at 60; 60 when the placement is unique.
+    pub mapping_quality: u8,
+}
+
+/// The mapper: a reference genome plus its seed index.
+pub struct MaqMapper<'g> {
+    genome: &'g DnaSeq,
+    index: KmerIndex,
+    config: MaqConfig,
+}
+
+impl<'g> MaqMapper<'g> {
+    /// Build the index over `genome`.
+    pub fn new(genome: &'g DnaSeq, config: MaqConfig) -> MaqMapper<'g> {
+        let index = KmerIndex::build(
+            genome,
+            IndexConfig {
+                k: config.k,
+                max_occurrences: config.max_kmer_occurrences,
+                stride: 1,
+            },
+        )
+        .expect("valid k");
+        MaqMapper {
+            genome,
+            index,
+            config,
+        }
+    }
+
+    /// The mapper's configuration.
+    pub fn config(&self) -> MaqConfig {
+        self.config
+    }
+
+    /// Map one read to its single best location, or `None` when no
+    /// acceptable placement exists. `rng` breaks exact ties uniformly.
+    pub fn map_read<R: Rng>(&self, read: &SequencedRead, rng: &mut R) -> Option<MaqHit> {
+        let rc = read.reverse_complement();
+        let mut best: Vec<(usize, bool, u32)> = Vec::new(); // ties
+        let mut best_score = u32::MAX;
+        let mut second_score = u32::MAX;
+
+        for (reverse, oriented) in [(false, read), (true, &rc)] {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for (qoff, gpos) in self.index.seed_hits(&oriented.seq) {
+                let gpos = gpos as usize;
+                if gpos < qoff {
+                    continue; // placement would start before the genome
+                }
+                let start = gpos - qoff;
+                if start + oriented.len() > self.genome.len() {
+                    continue;
+                }
+                if !seen.insert(start) {
+                    continue; // already scored this diagonal
+                }
+                let score = self.mismatch_quality(oriented, start);
+                if score < best_score {
+                    second_score = best_score;
+                    best_score = score;
+                    best.clear();
+                    best.push((start, reverse, score));
+                } else if score == best_score {
+                    second_score = best_score; // a tie makes the hit repetitive
+                    best.push((start, reverse, score));
+                } else if score < second_score {
+                    second_score = score;
+                }
+            }
+        }
+
+        if best.is_empty() || best_score > self.config.max_mismatch_quality {
+            return None;
+        }
+        // Random assignment among exact ties (the behaviour the paper calls
+        // out as a bias source in repeat regions).
+        let &(pos, reverse, mismatch_quality) = if best.len() == 1 {
+            &best[0]
+        } else {
+            &best[rng.random_range(0..best.len())]
+        };
+        let mapping_quality = if second_score == u32::MAX {
+            60
+        } else {
+            (second_score - best_score).min(60) as u8
+        };
+        if mapping_quality < self.config.min_mapping_quality {
+            return None;
+        }
+        Some(MaqHit {
+            pos,
+            reverse,
+            mismatch_quality,
+            mapping_quality,
+        })
+    }
+
+    /// Sum of qualities at mismatching positions for an ungapped placement
+    /// of `read` at genome `start`. `N` on either side contributes nothing.
+    fn mismatch_quality(&self, read: &SequencedRead, start: usize) -> u32 {
+        let mut acc = 0u32;
+        for i in 0..read.len() {
+            match (read.base(i), self.genome.get(start + i)) {
+                (Some(rb), Some(gb)) if rb != gb => acc += read.quals[i] as u32,
+                _ => {}
+            }
+        }
+        acc
+    }
+
+    /// Borrow the underlying index (for statistics).
+    pub fn index(&self) -> &KmerIndex {
+        &self.index
+    }
+}
+
+/// The oriented sequence/qualities a hit implies: what the genome actually
+/// saw at the placement, i.e. the read reverse-complemented when the hit is
+/// on the reverse strand.
+pub fn oriented_read(read: &SequencedRead, hit: &MaqHit) -> SequencedRead {
+    if hit.reverse {
+        read.reverse_complement()
+    } else {
+        read.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn genome(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn cfg(k: usize) -> MaqConfig {
+        MaqConfig {
+            k,
+            ..MaqConfig::default()
+        }
+    }
+
+    #[test]
+    fn exact_read_maps_to_origin() {
+        let g = genome("ACGTACGGTTCAGGCATTGCAAGCTTGGCAT");
+        let mapper = MaqMapper::new(&g, cfg(6));
+        let read = SequencedRead::with_uniform_quality("r", g.window(8, 24), 30);
+        let hit = mapper.map_read(&read, &mut rng(1)).unwrap();
+        assert_eq!(hit.pos, 8);
+        assert!(!hit.reverse);
+        assert_eq!(hit.mismatch_quality, 0);
+        assert_eq!(hit.mapping_quality, 60);
+    }
+
+    #[test]
+    fn reverse_strand_read_maps_back() {
+        let g = genome("ACGTACGGTTCAGGCATTGCAAGCTTGGCAT");
+        let mapper = MaqMapper::new(&g, cfg(6));
+        let fragment = g.window(5, 25).reverse_complement();
+        let read = SequencedRead::with_uniform_quality("r", fragment, 30);
+        let hit = mapper.map_read(&read, &mut rng(2)).unwrap();
+        assert_eq!(hit.pos, 5);
+        assert!(hit.reverse);
+        assert_eq!(hit.mismatch_quality, 0);
+    }
+
+    #[test]
+    fn mismatch_quality_is_summed() {
+        let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCA");
+        let mapper = MaqMapper::new(&g, cfg(6));
+        let mut frag = g.window(6, 30);
+        frag.set(12, Some(frag.get(12).unwrap().transition()));
+        let read = SequencedRead::with_uniform_quality("r", frag, 25);
+        let hit = mapper.map_read(&read, &mut rng(3)).unwrap();
+        assert_eq!(hit.pos, 6);
+        assert_eq!(hit.mismatch_quality, 25);
+    }
+
+    #[test]
+    fn hopeless_read_is_unmapped() {
+        let g = genome("ACGTACGGTTCAGGCATTGCAAGCTTGGCAT");
+        let mapper = MaqMapper::new(&g, cfg(6));
+        // A read sharing no 6-mer with the genome at all.
+        let read =
+            SequencedRead::with_uniform_quality("r", genome("GGGGGGGGGGGGGGGG"), 30);
+        assert!(mapper.map_read(&read, &mut rng(4)).is_none());
+    }
+
+    #[test]
+    fn repeat_reads_get_zero_mapping_quality_and_random_side() {
+        // Two identical 20-bp copies separated by unique sequence.
+        let unit = "ACGGTTCAGGCATTGCAAGC";
+        let g = genome(&format!("{unit}TTTTTTTTTT{unit}"));
+        let mapper = MaqMapper::new(&g, MaqConfig {
+            k: 6,
+            min_mapping_quality: 0,
+            ..MaqConfig::default()
+        });
+        let read = SequencedRead::with_uniform_quality("r", genome(unit), 30);
+        let mut seen = HashSet::new();
+        for s in 0..32 {
+            let hit = mapper.map_read(&read, &mut rng(s)).unwrap();
+            assert_eq!(hit.mapping_quality, 0, "tied placements");
+            seen.insert(hit.pos);
+        }
+        assert_eq!(
+            seen,
+            HashSet::from([0usize, 30]),
+            "random tie-breaking should visit both copies"
+        );
+    }
+
+    #[test]
+    fn min_mapping_quality_filters_repeats() {
+        let unit = "ACGGTTCAGGCATTGCAAGC";
+        let g = genome(&format!("{unit}TTTTTTTTTT{unit}"));
+        let mapper = MaqMapper::new(&g, cfg(6)); // min_mapping_quality = 1
+        let read = SequencedRead::with_uniform_quality("r", genome(unit), 30);
+        assert!(mapper.map_read(&read, &mut rng(5)).is_none());
+    }
+
+    #[test]
+    fn max_mismatch_quality_rejects_bad_placements() {
+        let g = genome("ACGTACGGTTCAGGCATTGCAAGCTTGGCATACGT");
+        let mut frag = g.window(4, 28);
+        // Corrupt 5 bases at high quality: 5 × 30 = 150 > 120 default cap.
+        for p in [8, 10, 12, 14, 16] {
+            frag.set(p, Some(frag.get(p).unwrap().transition()));
+        }
+        let mapper = MaqMapper::new(&g, cfg(6));
+        let read = SequencedRead::with_uniform_quality("r", frag, 30);
+        assert!(mapper.map_read(&read, &mut rng(6)).is_none());
+    }
+
+    #[test]
+    fn oriented_read_matches_strand() {
+        let r = SequencedRead::with_uniform_quality("r", genome("ACGT"), 30);
+        let fwd = MaqHit {
+            pos: 0,
+            reverse: false,
+            mismatch_quality: 0,
+            mapping_quality: 60,
+        };
+        let rev = MaqHit {
+            reverse: true,
+            ..fwd
+        };
+        assert_eq!(oriented_read(&r, &fwd).seq.to_string(), "ACGT");
+        assert_eq!(oriented_read(&r, &rev).seq.to_string(), "ACGT".parse::<DnaSeq>().unwrap().reverse_complement().to_string());
+    }
+}

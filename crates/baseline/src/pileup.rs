@@ -1,0 +1,172 @@
+//! Quality-weighted pileup over committed alignments.
+//!
+//! Each mapped read deposits, at every genome position it covers, a weight
+//! of `1 − p_error` on its called base (and nothing elsewhere). Contrast
+//! with GNUMAP-SNP's accumulator, which deposits a *distribution* over the
+//! five symbols marginalised over all alignments — the pileup is the
+//! single-alignment, hard-call simplification the paper argues against.
+
+use crate::mapper::{oriented_read, MaqHit};
+use genome::quality::phred_to_error_prob;
+use genome::read::SequencedRead;
+
+/// Per-position weighted base counts plus integer depth.
+#[derive(Debug, Clone)]
+pub struct Pileup {
+    counts: Vec<[f64; 4]>,
+    depth: Vec<u32>,
+}
+
+impl Pileup {
+    /// An empty pileup over a genome of `len` bases.
+    pub fn new(len: usize) -> Pileup {
+        Pileup {
+            counts: vec![[0.0; 4]; len],
+            depth: vec![0; len],
+        }
+    }
+
+    /// Genome length covered.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when covering nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Deposit one mapped read.
+    pub fn add_read(&mut self, read: &SequencedRead, hit: &MaqHit) {
+        let oriented = oriented_read(read, hit);
+        for i in 0..oriented.len() {
+            let pos = hit.pos + i;
+            if pos >= self.counts.len() {
+                break;
+            }
+            if let Some(b) = oriented.base(i) {
+                let w = 1.0 - phred_to_error_prob(oriented.quals[i]);
+                self.counts[pos][b.index()] += w;
+                self.depth[pos] += 1;
+            }
+        }
+    }
+
+    /// The weighted counts at a position.
+    pub fn counts(&self, pos: usize) -> &[f64; 4] {
+        &self.counts[pos]
+    }
+
+    /// Number of reads covering a position (with a non-N call).
+    pub fn depth(&self, pos: usize) -> u32 {
+        self.depth[pos]
+    }
+
+    /// Merge another pileup (for parallel baseline runs).
+    pub fn merge(&mut self, other: &Pileup) {
+        assert_eq!(self.len(), other.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for k in 0..4 {
+                a[k] += b[k];
+            }
+        }
+        for (a, b) in self.depth.iter_mut().zip(&other.depth) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::alphabet::Base;
+    use genome::seq::DnaSeq;
+
+    fn read(seq: &str, q: u8) -> SequencedRead {
+        SequencedRead::with_uniform_quality("r", seq.parse().unwrap(), q)
+    }
+
+    fn hit(pos: usize, reverse: bool) -> MaqHit {
+        MaqHit {
+            pos,
+            reverse,
+            mismatch_quality: 0,
+            mapping_quality: 60,
+        }
+    }
+
+    #[test]
+    fn deposits_weight_on_called_bases() {
+        let mut p = Pileup::new(10);
+        p.add_read(&read("ACGT", 20), &hit(3, false));
+        assert!((p.counts(3)[Base::A.index()] - 0.99).abs() < 1e-12);
+        assert!((p.counts(6)[Base::T.index()] - 0.99).abs() < 1e-12);
+        assert_eq!(p.depth(3), 1);
+        assert_eq!(p.depth(2), 0);
+        assert_eq!(p.counts(3)[Base::C.index()], 0.0);
+    }
+
+    #[test]
+    fn reverse_hits_deposit_the_complement() {
+        let mut p = Pileup::new(10);
+        // Read "ACGT" on the reverse strand covers genome with "ACGT"
+        // reverse-complemented = "ACGT". Use asymmetric read to see it:
+        p.add_read(&read("AACC", 20), &hit(0, true)); // rc = GGTT
+        assert!(p.counts(0)[Base::G.index()] > 0.9);
+        assert!(p.counts(2)[Base::T.index()] > 0.9);
+    }
+
+    #[test]
+    fn n_calls_are_skipped() {
+        let mut p = Pileup::new(10);
+        p.add_read(&read("ANGT", 20), &hit(0, false));
+        assert_eq!(p.depth(1), 0);
+        assert_eq!(p.counts(1).iter().sum::<f64>(), 0.0);
+        assert_eq!(p.depth(0), 1);
+    }
+
+    #[test]
+    fn reads_overhanging_the_end_are_clipped() {
+        let mut p = Pileup::new(5);
+        p.add_read(&read("ACGT", 20), &hit(3, false));
+        assert_eq!(p.depth(3), 1);
+        assert_eq!(p.depth(4), 1);
+        // Positions 5, 6 don't exist; nothing panicked.
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Pileup::new(6);
+        let mut b = Pileup::new(6);
+        a.add_read(&read("AC", 20), &hit(0, false));
+        b.add_read(&read("AC", 20), &hit(0, false));
+        b.add_read(&read("GT", 20), &hit(4, false));
+        a.merge(&b);
+        assert!((a.counts(0)[Base::A.index()] - 2.0 * 0.99).abs() < 1e-9);
+        assert_eq!(a.depth(0), 2);
+        assert_eq!(a.depth(4), 1);
+    }
+
+    #[test]
+    fn higher_quality_deposits_more_weight() {
+        let mut p = Pileup::new(4);
+        p.add_read(&read("A", 40), &hit(0, false));
+        p.add_read(&read("A", 5), &hit(1, false));
+        assert!(p.counts(0)[0] > p.counts(1)[0]);
+    }
+
+    #[test]
+    fn roundtrip_with_dnaseq_window() {
+        // Sanity: depositing a fragment of a genome recovers its bases.
+        let g: DnaSeq = "ACGTACGTAC".parse().unwrap();
+        let mut p = Pileup::new(g.len());
+        let r = SequencedRead::with_uniform_quality("r", g.window(2, 8), 30);
+        p.add_read(&r, &hit(2, false));
+        for pos in 2..8 {
+            let expect = g.get(pos).unwrap().index();
+            let counts = p.counts(pos);
+            let argmax = (0..4).max_by(|&a, &b| counts[a].total_cmp(&counts[b])).unwrap();
+            assert_eq!(argmax, expect);
+        }
+    }
+}

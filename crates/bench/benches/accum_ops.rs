@@ -1,0 +1,68 @@
+//! Criterion microbenches for the three accumulator layouts: per-update
+//! cost and merge (reduction) cost — the ablation behind paper Figure 5's
+//! "speeds are nearly the same" claim and the CENTDISC slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnumap_core::accum::{
+    CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
+};
+use std::hint::black_box;
+
+const LEN: usize = 100_000;
+
+fn deltas() -> Vec<(usize, [f64; 5])> {
+    // A deterministic stream of realistic per-column updates.
+    (0..10_000)
+        .map(|i| {
+            let pos = (i * 7919) % LEN;
+            let main = i % 4;
+            let mut d = [0.01; 5];
+            d[main] = 0.95;
+            d[4] = 0.01;
+            (pos, d)
+        })
+        .collect()
+}
+
+fn bench_add<A: GenomeAccumulator>(c: &mut Criterion, name: &str) {
+    let updates = deltas();
+    c.bench_function(&format!("accum_add_10k/{name}"), |b| {
+        b.iter(|| {
+            let mut acc = A::new(LEN);
+            for (pos, d) in &updates {
+                acc.add(*pos, black_box(d));
+            }
+            black_box(acc.total(0))
+        })
+    });
+}
+
+fn bench_merge<A: GenomeAccumulator + Clone>(c: &mut Criterion, name: &str) {
+    let updates = deltas();
+    let mut a = A::new(LEN);
+    let mut b_acc = A::new(LEN);
+    for (pos, d) in &updates {
+        a.add(*pos, d);
+        b_acc.add((*pos + 13) % LEN, d);
+    }
+    let wire = b_acc.to_wire();
+    c.bench_function(&format!("accum_merge_100kb/{name}"), |b| {
+        b.iter(|| {
+            let mut target = a.clone();
+            target.merge_wire(black_box(&wire));
+            black_box(target.total(0))
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_add::<NormAccumulator>(c, "NORM");
+    bench_add::<CharDiscAccumulator>(c, "CHARDISC");
+    bench_add::<CentDiscAccumulator>(c, "CENTDISC");
+    bench_merge::<NormAccumulator>(c, "NORM");
+    bench_merge::<CharDiscAccumulator>(c, "CHARDISC");
+    bench_merge::<CentDiscAccumulator>(c, "CENTDISC");
+}
+
+criterion_group!(accum, benches);
+criterion_main!(accum);

@@ -1,0 +1,100 @@
+//! Criterion microbenches for the Pair-HMM kernels: forward, backward,
+//! full vs banded, scaled, and Viterbi — the ablation for the banded-DP
+//! design choice called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use pairhmm::backward::backward;
+use pairhmm::banded::{banded_backward, banded_forward};
+use pairhmm::forward::forward;
+use pairhmm::params::PhmmParams;
+use pairhmm::pwm::Pwm;
+use pairhmm::scaling::scaled_forward;
+use pairhmm::viterbi::viterbi;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_pair(len: usize, seed: u64) -> (Vec<Vec<f64>>, PhmmParams) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let params = PhmmParams::default();
+    let bases: Vec<genome::alphabet::Base> = (0..len)
+        .map(|_| genome::alphabet::Base::from_index(rng.random_range(0..4)))
+        .collect();
+    let genome_seq = DnaSeq::from_bases(bases.iter().copied());
+    // Read = the window with ~1% mutations, realistic qualities.
+    let read_seq: DnaSeq = bases
+        .iter()
+        .map(|&b| {
+            if rng.random_bool(0.01) {
+                Some(b.transition())
+            } else {
+                Some(b)
+            }
+        })
+        .collect();
+    let quals: Vec<u8> = (0..len).map(|i| 40 - (i * 20 / len.max(1)) as u8).collect();
+    let read = SequencedRead::new("bench", read_seq, quals).unwrap();
+    let window: Vec<_> = genome_seq.iter().collect();
+    let emit = Pwm::from_read(&read).emission_table(&window, &params);
+    (emit, params)
+}
+
+fn bench_forward_by_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phmm_forward");
+    for len in [36usize, 62, 100, 150] {
+        let (emit, params) = random_pair(len, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(forward(black_box(&emit), &params).total))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward_pair(c: &mut Criterion) {
+    let (emit, params) = random_pair(62, 2);
+    c.bench_function("phmm_forward_backward_62bp", |b| {
+        b.iter(|| {
+            let f = forward(black_box(&emit), &params);
+            let bwd = backward(black_box(&emit), &params);
+            black_box(f.total + bwd.total)
+        })
+    });
+}
+
+fn bench_banded_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phmm_banded_vs_full_62bp");
+    let (emit, params) = random_pair(62, 3);
+    group.bench_function("full", |b| {
+        b.iter(|| black_box(forward(black_box(&emit), &params).total))
+    });
+    for w in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("banded", w), &w, |b, &w| {
+            b.iter(|| black_box(banded_forward(black_box(&emit), &params, w).total))
+        });
+    }
+    group.bench_function("banded_backward_w4", |b| {
+        b.iter(|| black_box(banded_backward(black_box(&emit), &params, 4).total))
+    });
+    group.finish();
+}
+
+fn bench_scaled_and_viterbi(c: &mut Criterion) {
+    let (emit, params) = random_pair(62, 4);
+    c.bench_function("phmm_scaled_forward_62bp", |b| {
+        b.iter(|| black_box(scaled_forward(black_box(&emit), &params).log_total))
+    });
+    c.bench_function("phmm_viterbi_62bp", |b| {
+        b.iter(|| black_box(viterbi(black_box(&emit), &params).probability))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_forward_by_length,
+    bench_forward_backward_pair,
+    bench_banded_vs_full,
+    bench_scaled_and_viterbi
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Reproduce paper **Figure 4** — "Sequence processing rate for memory
+//! allocation": sequences/second vs processor count for the two MPI
+//! decompositions, against the perfect-linear reference.
+//!
+//! Paper shape: the shared-genome read-split mode (black) tracks the
+//! linear line (red) closely; the spread-memory genome-split mode (blue)
+//! processes markedly fewer sequences per second because every read's
+//! normalising constant crosses ranks. "The spread memory mode does not
+//! process as many sequences, so the shared memory mode should be used
+//! when possible."
+//!
+//! Rates are *simulated-parallel*: the busiest rank's measured CPU time
+//! plus a gigabit-class communication model (see
+//! `gnumap_core::report::CommModel`), so the sweep is meaningful even when
+//! the simulated ranks timeshare fewer physical cores than there are
+//! ranks. The substitution is documented in DESIGN.md §2.
+
+use bench::{proc_sweep, render_table, repetitions, WorkloadSpec};
+use gnumap_core::accum::NormAccumulator;
+use gnumap_core::driver::genome_split::run_genome_split;
+use gnumap_core::driver::read_split::run_read_split;
+use gnumap_core::report::CommModel;
+use gnumap_core::GnumapConfig;
+
+fn main() {
+    let spec = WorkloadSpec::from_env(120_000, 24);
+    eprintln!(
+        "[fig4] genome {} bp, {:.0}x coverage (set REPRO_* to rescale)",
+        spec.genome_len, spec.coverage
+    );
+    let w = spec.build();
+    let cfg = GnumapConfig::default();
+    let model = CommModel::default();
+    let procs = proc_sweep();
+
+    // Warm-up run: populate caches so the p = 1 baseline isn't penalised
+    // for going first.
+    let _ = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, 1);
+
+    let mut rows = Vec::new();
+    let mut base_rate = None;
+    let reps = repetitions();
+    for &p in &procs {
+        let mut shared_rate = 0.0f64;
+        let mut spread_rate = 0.0f64;
+        let mut shared = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
+        let mut spread = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
+        for _ in 0..reps {
+            let s = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
+            if s.simulated_seqs_per_sec(&model) > shared_rate {
+                shared_rate = s.simulated_seqs_per_sec(&model);
+                shared = s;
+            }
+            let g = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
+            if g.simulated_seqs_per_sec(&model) > spread_rate {
+                spread_rate = g.simulated_seqs_per_sec(&model);
+                spread = g;
+            }
+        }
+        let linear = *base_rate.get_or_insert(shared_rate) * p as f64;
+        rows.push(vec![
+            p.to_string(),
+            format!("{linear:.0}"),
+            format!("{shared_rate:.0}"),
+            format!("{spread_rate:.0}"),
+            format!(
+                "{}/{}",
+                shared.traffic.unwrap().messages,
+                spread.traffic.unwrap().messages
+            ),
+        ]);
+    }
+
+    println!("Figure 4 — simulated sequences/second vs processors (higher is better)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "procs",
+                "linear",
+                "shared-mem (read-split)",
+                "spread-mem (genome-split)",
+                "msgs shared/spread",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "paper shape: read-split ≈ linear; genome-split lags it at every\n\
+         processor count (every rank re-seeds all reads and the per-batch\n\
+         normalisation allreduce adds latency)."
+    );
+}

@@ -1,0 +1,86 @@
+//! Reproduce paper **Table I** — "Experimental results for simulated data".
+//!
+//! GNUMAP-SNP vs the MAQ-style baseline on a simulated chromosome with
+//! planted dbSNP-recipe SNPs: wall time, TP, FP, FN, precision. The paper's
+//! numbers (14,501 SNPs on chrX, 31 M reads): MAQ 990.1 m / 11322 TP /
+//! 830 FP / 93.2%; GNUMAP 218.6 m / 11070 TP / 676 FP / 94.2% — i.e. the
+//! two callers are nearly tied on accuracy while GNUMAP parallelises. The
+//! shape to check here: both callers find the large majority of planted
+//! SNPs, precisions are comparable and high, and GNUMAP's wall time
+//! shrinks with processors while the baseline is serial.
+
+use bench::{render_table, WorkloadSpec};
+use gnumap_core::accum::NormAccumulator;
+use gnumap_core::driver::read_split::run_read_split;
+use gnumap_core::report::score_positions;
+use gnumap_core::GnumapConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+fn main() {
+    let spec = WorkloadSpec::from_env(150_000, 30);
+    eprintln!(
+        "[table1] genome {} bp, {} SNPs, {:.0}x coverage (set REPRO_* to rescale)",
+        spec.genome_len, spec.snp_count, spec.coverage
+    );
+    let w = spec.build();
+    let truth_positions: HashSet<usize> = w.truth.iter().map(|&(p, _)| p).collect();
+    let procs: usize = std::env::var("REPRO_MAX_PROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+
+    // GNUMAP-SNP on the read-split driver (the paper ran a 30-node cluster;
+    // times are "not normalized by the number of processors").
+    let gnumap = run_read_split::<NormAccumulator>(
+        &w.reference,
+        &w.reads,
+        &GnumapConfig::default(),
+        procs,
+    );
+    let g_acc = gnumap_core::report::score_snp_calls(&gnumap.calls, &w.truth);
+    // Simulated parallel wall clock: busiest rank's CPU + comm model (the
+    // paper's GNUMAP time was measured on a 30-machine cluster).
+    let g_time = gnumap
+        .simulated_parallel_secs(&gnumap_core::report::CommModel::default())
+        .unwrap_or(gnumap.elapsed_secs);
+
+    // MAQ-style baseline, single processor as in the paper.
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x4d41_5153); // "MAQS"
+    let maq = baseline::run_baseline(
+        &w.reference,
+        &w.reads,
+        &baseline::BaselineConfig::default(),
+        &mut rng,
+    );
+    let m_acc = score_positions(maq.snps.iter().map(|s| s.pos), &truth_positions);
+
+    let rows = vec![
+        vec![
+            "MAQ-style (1 proc)".to_string(),
+            format!("{:.1}", maq.elapsed_secs),
+            m_acc.true_positives.to_string(),
+            m_acc.false_positives.to_string(),
+            m_acc.false_negatives.to_string(),
+            format!("{:.1}%", 100.0 * m_acc.precision()),
+        ],
+        vec![
+            format!("GNUMAP-SNP ({procs} procs)"),
+            format!("{g_time:.1}"),
+            g_acc.true_positives.to_string(),
+            g_acc.false_positives.to_string(),
+            g_acc.false_negatives.to_string(),
+            format!("{:.1}%", 100.0 * g_acc.precision()),
+        ],
+    ];
+    println!("Table I — simulated-data accuracy ({} planted SNPs)", w.truth.len());
+    println!(
+        "{}",
+        render_table(&["Program", "Time (s)", "TP", "FP", "FN", "Precision"], &rows)
+    );
+    println!(
+        "paper shape: both callers catch ~75-80% of planted SNPs at >90% precision;\n\
+         GNUMAP-SNP parallelises while MAQ runs serially."
+    );
+}

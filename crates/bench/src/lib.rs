@@ -1,0 +1,230 @@
+//! Shared workload construction and table rendering for the reproduction
+//! binaries (one per paper table/figure — see DESIGN.md §4).
+//!
+//! The paper's workload is the 155 Mbp human X chromosome with 14,501
+//! planted dbSNP sites and ~31 M simulated 62-bp reads at 12× coverage.
+//! The binaries here default to a laptop-scale version of the same recipe
+//! (hundreds of kbp, thousands of reads) and scale via environment
+//! variables:
+//!
+//! * `REPRO_GENOME_LEN` — reference length in bases;
+//! * `REPRO_SNPS`       — planted SNP count;
+//! * `REPRO_COVERAGE`   — mean read coverage;
+//! * `REPRO_SEED`       — RNG seed;
+//! * `REPRO_MAX_PROCS`  — top of the processor sweep (figures 4/5).
+
+use genome::alphabet::Base;
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
+use simulate::{
+    apply_snps_monoploid, generate_genome, generate_snp_catalog, GenomeConfig,
+    SnpCatalogConfig,
+};
+
+/// A fully materialised experiment workload.
+pub struct Workload {
+    /// The reference genome the callers align against.
+    pub reference: DnaSeq,
+    /// Planted truth: (position, alternate allele).
+    pub truth: Vec<(usize, Base)>,
+    /// Simulated reads from the mutated individual.
+    pub reads: Vec<SequencedRead>,
+}
+
+/// Workload dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    pub genome_len: usize,
+    pub snp_count: usize,
+    pub coverage: f64,
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            genome_len: 200_000,
+            snp_count: 40,
+            coverage: 12.0,
+            seed: 20120521, // IPPS 2012 week, for flavour
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Read the spec from the `REPRO_*` environment variables, falling back
+    /// to `default_len`/`default_snps`/cov 12 when unset.
+    pub fn from_env(default_len: usize, default_snps: usize) -> WorkloadSpec {
+        fn env<T: std::str::FromStr>(key: &str, default: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        WorkloadSpec {
+            genome_len: env("REPRO_GENOME_LEN", default_len),
+            snp_count: env("REPRO_SNPS", default_snps),
+            coverage: env("REPRO_COVERAGE", 12.0),
+            seed: env("REPRO_SEED", WorkloadSpec::default().seed),
+        }
+    }
+
+    /// Materialise the workload: chrX-recipe reference (with repeat
+    /// families), evenly spaced SNP catalogue, 62-bp Illumina-profile
+    /// reads at the configured coverage.
+    pub fn build(&self) -> Workload {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let reference = generate_genome(
+            &GenomeConfig {
+                length: self.genome_len,
+                // Scale repeat content with the genome so repeat regions
+                // remain a constant fraction, as on a real chromosome.
+                repeat_families: (self.genome_len / 25_000).max(1),
+                repeat_length: 300,
+                repeat_copies: 3,
+                repeat_divergence: 0.01,
+                ..GenomeConfig::default()
+            },
+            &mut rng,
+        );
+        let snps = generate_snp_catalog(
+            &reference,
+            &SnpCatalogConfig {
+                count: self.snp_count,
+                ..SnpCatalogConfig::default()
+            },
+            &mut rng,
+        );
+        let individual = apply_snps_monoploid(&reference, &snps);
+        let cfg = ReadSimConfig {
+            coverage: self.coverage,
+            ..ReadSimConfig::default()
+        };
+        let sim = simulate_reads(
+            &ReadSource::Monoploid(&individual),
+            cfg.read_count(self.genome_len),
+            &cfg,
+            &mut rng,
+        );
+        Workload {
+            reference,
+            truth: snps.iter().map(|s| (s.pos, s.alt)).collect(),
+            reads: sim.into_iter().map(|r| r.read).collect(),
+        }
+    }
+}
+
+/// The processor counts swept by the figure binaries: 1, 2, 4, ... up to
+/// `REPRO_MAX_PROCS` (default 8). The sweep does not depend on the host's
+/// core count: scaling rates come from per-rank CPU time plus the
+/// communication model (`RunReport::simulated_seqs_per_sec`), so ranks may
+/// timeshare the physical cores without corrupting the measurement.
+pub fn proc_sweep() -> Vec<usize> {
+    let max: usize = std::env::var("REPRO_MAX_PROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let mut procs = vec![];
+    let mut p = 1;
+    while p <= max {
+        procs.push(p);
+        p *= 2;
+    }
+    if *procs.last().unwrap() != max {
+        procs.push(max);
+    }
+    procs
+}
+
+/// Repetitions for timing-sensitive sweeps (`REPRO_REPS`, default 3).
+/// Oversubscribed simulated ranks suffer scheduler interference; taking
+/// the best repetition (smallest critical path) filters the spikes.
+pub fn repetitions() -> usize {
+    std::env::var("REPRO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// Render an aligned text table: a header row plus data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_consistent() {
+        let spec = WorkloadSpec {
+            genome_len: 10_000,
+            snp_count: 5,
+            coverage: 4.0,
+            seed: 1,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.reference, b.reference);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.reads.len(), b.reads.len());
+        assert_eq!(a.truth.len(), 5);
+        // ~4x coverage of 10 kb at 62 bp.
+        assert_eq!(a.reads.len(), (4.0 * 10_000.0 / 62.0_f64).round() as usize);
+    }
+
+    #[test]
+    fn proc_sweep_is_increasing_powers() {
+        unsafe { std::env::set_var("REPRO_MAX_PROCS", "6") };
+        let p = proc_sweep();
+        unsafe { std::env::remove_var("REPRO_MAX_PROCS") };
+        assert_eq!(p, vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "1234".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned: "1234" is padded to the 5-wide "value" column.
+        assert!(lines[3].contains("long-name"));
+        assert!(lines[3].ends_with(" 1234"));
+        assert_eq!(lines[2].len(), lines[3].len(), "rows align");
+    }
+}

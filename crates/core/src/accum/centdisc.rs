@@ -1,0 +1,422 @@
+//! Centroid discretization (paper Section VI-B.2, following Lloyd & Snell).
+//!
+//! Per genome position: one `f32` total plus a single byte indexing into a
+//! 256-entry codebook of probability vectors over (A, C, G, T, gap). The
+//! codebook is biased toward *biologically relevant* states — peaked
+//! single-base states (the paper's example for a single `a` is
+//! `γ = [0.84, 0.04, 0.04, 0.04, 0.04]`), transition-SNP mixtures sampled
+//! more densely than transversion mixtures (`γ = [0.28, 0.08, 0.48, 0.08,
+//! 0.08]` for an a→g SNP), plus base+gap mixtures and a sparse filler over
+//! the rest of the simplex.
+//!
+//! **The fast path, and why accuracy collapses.** The paper: "Since there
+//! are only 256 discrete possibilities for γ, the sum can be a pre-computed
+//! table lookup, reducing the number of steps significantly." We implement
+//! exactly that: combining two codewords looks up the nearest centroid of
+//! their *equal-weight* average — the relative totals of the two operands
+//! are not consulted (they cannot be: the table has only 256×256 entries).
+//! Applied per-read, this gives the newest read the same weight as the
+//! entire accumulated history, i.e. exponential forgetting with factor ½ —
+//! after a dozen reads the stored distribution mostly reflects the last
+//! couple of reads, so a single late sequencing error can dominate a
+//! position. That is the mechanism behind Table III's CENTDISC row (166
+//! TP, 9058 FP): enormous memory savings, unusable accuracy, matching the
+//! paper's conclusion that the method "is not recommended for practical
+//! use".
+
+use super::{GenomeAccumulator, NUM_SYMBOLS};
+use std::sync::OnceLock;
+
+/// Number of codewords (fits one byte, as in the paper).
+pub const CODEBOOK_SIZE: usize = 256;
+
+/// The centroid codebook plus its precomputed pairwise-sum table.
+pub struct Codebook {
+    centroids: Vec<[f64; NUM_SYMBOLS]>,
+    /// `sum_table[a * 256 + b]` = nearest codeword to the equal-weight
+    /// average of codewords `a` and `b`.
+    sum_table: Vec<u8>,
+}
+
+impl Codebook {
+    /// The process-wide shared codebook (built once, deterministically).
+    pub fn shared() -> &'static Codebook {
+        static SHARED: OnceLock<Codebook> = OnceLock::new();
+        SHARED.get_or_init(Codebook::build)
+    }
+
+    /// Build the deterministic biologically-weighted codebook.
+    fn build() -> Codebook {
+        let mut centroids: Vec<[f64; NUM_SYMBOLS]> = Vec::with_capacity(CODEBOOK_SIZE);
+
+        // Uniform background state.
+        centroids.push([0.2; NUM_SYMBOLS]);
+
+        // Peaked single-symbol states, eight confidence levels each, capped
+        // at 0.84 as in the paper's single-`a` example.
+        for s in 0..NUM_SYMBOLS {
+            for level in 0..8 {
+                let peak = 0.84 - 0.08 * level as f64; // 0.84 .. 0.28
+                let rest = (1.0 - peak) / (NUM_SYMBOLS - 1) as f64;
+                let mut c = [rest; NUM_SYMBOLS];
+                c[s] = peak;
+                centroids.push(c);
+            }
+        }
+
+        // Two-symbol mixtures. Transitions (A↔G, C↔T) are sampled at seven
+        // mixing ratios, transversions at three — "sampling biologically-
+        // relevant states at a higher rate".
+        let transition_pairs = [(0usize, 2usize), (1, 3)]; // {A,G}, {C,T}
+        let transversion_pairs = [(0usize, 1usize), (0, 3), (2, 1), (2, 3)];
+        let fine_mixes: &[(f64, f64)] = &[
+            (0.44, 0.44),
+            (0.56, 0.32),
+            (0.32, 0.56),
+            (0.64, 0.24),
+            (0.24, 0.64),
+            (0.48, 0.28), // the paper's a→g SNP example shape
+            (0.28, 0.48),
+        ];
+        let coarse_mixes: &[(f64, f64)] = &[(0.44, 0.44), (0.6, 0.28), (0.28, 0.6)];
+        let push_pair = |a: usize, b: usize, wa: f64, wb: f64,
+                             centroids: &mut Vec<[f64; NUM_SYMBOLS]>| {
+            let rest = (1.0 - wa - wb) / (NUM_SYMBOLS - 2) as f64;
+            let mut c = [rest; NUM_SYMBOLS];
+            c[a] = wa;
+            c[b] = wb;
+            centroids.push(c);
+        };
+        for &(a, b) in &transition_pairs {
+            for &(wa, wb) in fine_mixes {
+                push_pair(a, b, wa, wb, &mut centroids);
+            }
+        }
+        for &(a, b) in &transversion_pairs {
+            for &(wa, wb) in coarse_mixes {
+                push_pair(a, b, wa, wb, &mut centroids);
+            }
+        }
+        // Base + gap mixtures (deletion evidence).
+        for base in 0..4 {
+            for &(wb, wg) in coarse_mixes {
+                push_pair(base, 4, wb, wg, &mut centroids);
+            }
+        }
+
+        // Fill the remaining slots with a deterministic low-discrepancy
+        // sweep of the simplex, sharpened toward peaked states (squaring
+        // the coordinates biases mass toward the corners). The multipliers
+        // must be irrational — a Kronecker sequence with rational weights
+        // is periodic and would run out of fresh candidates.
+        const ALPHAS: [f64; NUM_SYMBOLS] = [
+            0.414_213_562_373_095, // √2 − 1
+            0.732_050_807_568_877, // √3 − 1
+            0.236_067_977_499_79,  // √5 − 2
+            0.645_751_311_064_59,  // √7 − 2
+            0.316_624_790_355_4,   // √11 − 3
+        ];
+        let mut t = 0u64;
+        while centroids.len() < CODEBOOK_SIZE {
+            t += 1;
+            let mut c = [0.0f64; NUM_SYMBOLS];
+            let mut sum = 0.0;
+            for (k, ck) in c.iter_mut().enumerate() {
+                let x = ((t as f64) * ALPHAS[k]).fract() + 0.02;
+                *ck = x * x;
+                sum += *ck;
+            }
+            for ck in &mut c {
+                *ck /= sum;
+            }
+            // Skip near-duplicates of existing codewords.
+            let dup = centroids.iter().any(|e| dist2(e, &c) < 1e-4);
+            if !dup {
+                centroids.push(c);
+            }
+        }
+
+        // Precompute the equal-weight pairwise sum table.
+        let mut sum_table = vec![0u8; CODEBOOK_SIZE * CODEBOOK_SIZE];
+        for a in 0..CODEBOOK_SIZE {
+            for b in a..CODEBOOK_SIZE {
+                let mut avg = [0.0; NUM_SYMBOLS];
+                for k in 0..NUM_SYMBOLS {
+                    avg[k] = 0.5 * (centroids[a][k] + centroids[b][k]);
+                }
+                let code = nearest(&centroids, &avg);
+                sum_table[a * CODEBOOK_SIZE + b] = code;
+                sum_table[b * CODEBOOK_SIZE + a] = code;
+            }
+        }
+        Codebook {
+            centroids,
+            sum_table,
+        }
+    }
+
+    /// The centroid distribution for a codeword.
+    pub fn centroid(&self, code: u8) -> &[f64; NUM_SYMBOLS] {
+        &self.centroids[code as usize]
+    }
+
+    /// Nearest codeword to a (not necessarily normalised) count vector —
+    /// the "somewhat exhaustive search" the paper mentions.
+    pub fn encode(&self, counts: &[f64; NUM_SYMBOLS]) -> u8 {
+        let total: f64 = counts.iter().sum();
+        if total <= 0.0 {
+            // Zero evidence encodes as the uniform state; the accumulator
+            // never reads it back because total stays 0.
+            return 0;
+        }
+        let mut norm = [0.0; NUM_SYMBOLS];
+        for k in 0..NUM_SYMBOLS {
+            norm[k] = counts[k] / total;
+        }
+        nearest(&self.centroids, &norm)
+    }
+
+    /// Table-lookup combination of two codewords (equal weights).
+    pub fn combine(&self, a: u8, b: u8) -> u8 {
+        self.sum_table[a as usize * CODEBOOK_SIZE + b as usize]
+    }
+
+    /// Bytes of the codebook's own tables (shared across all accumulators).
+    pub fn table_bytes(&self) -> usize {
+        self.centroids.len() * std::mem::size_of::<[f64; NUM_SYMBOLS]>()
+            + self.sum_table.len()
+    }
+}
+
+fn dist2(a: &[f64; NUM_SYMBOLS], b: &[f64; NUM_SYMBOLS]) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..NUM_SYMBOLS {
+        let d = a[k] - b[k];
+        acc += d * d;
+    }
+    acc
+}
+
+fn nearest(centroids: &[[f64; NUM_SYMBOLS]], target: &[f64; NUM_SYMBOLS]) -> u8 {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(c, target);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best as u8
+}
+
+/// One `f32` total + one codeword byte per position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentDiscAccumulator {
+    totals: Vec<f32>,
+    codes: Vec<u8>,
+}
+
+impl GenomeAccumulator for CentDiscAccumulator {
+    type Wire = (Vec<f32>, Vec<u8>);
+
+    fn new(len: usize) -> Self {
+        CentDiscAccumulator {
+            totals: vec![0.0; len],
+            codes: vec![0; len],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    fn add(&mut self, pos: usize, delta: &[f64; NUM_SYMBOLS]) {
+        debug_assert!(delta.iter().all(|&d| d >= 0.0));
+        let delta_total: f64 = delta.iter().sum();
+        if delta_total <= 0.0 {
+            return;
+        }
+        let book = Codebook::shared();
+        let delta_code = book.encode(delta);
+        if self.totals[pos] <= 0.0 {
+            self.codes[pos] = delta_code;
+        } else {
+            // The paper's fast path: combine through the precomputed
+            // equal-weight sum table. This is where the accuracy goes.
+            self.codes[pos] = book.combine(self.codes[pos], delta_code);
+        }
+        self.totals[pos] += delta_total as f32;
+    }
+
+    fn counts(&self, pos: usize) -> [f64; NUM_SYMBOLS] {
+        let total = self.totals[pos] as f64;
+        if total <= 0.0 {
+            return [0.0; NUM_SYMBOLS];
+        }
+        let c = Codebook::shared().centroid(self.codes[pos]);
+        let mut out = [0.0; NUM_SYMBOLS];
+        for k in 0..NUM_SYMBOLS {
+            out[k] = c[k] * total;
+        }
+        out
+    }
+
+    fn total(&self, pos: usize) -> f64 {
+        self.totals[pos] as f64
+    }
+
+    fn to_wire(&self) -> Self::Wire {
+        (self.totals.clone(), self.codes.clone())
+    }
+
+    fn merge_wire(&mut self, wire: &Self::Wire) {
+        let (totals, codes) = wire;
+        assert_eq!(totals.len(), self.len());
+        assert_eq!(codes.len(), self.len());
+        let book = Codebook::shared();
+        for pos in 0..self.len() {
+            if totals[pos] <= 0.0 {
+                continue;
+            }
+            if self.totals[pos] <= 0.0 {
+                self.codes[pos] = codes[pos];
+            } else {
+                self.codes[pos] = book.combine(self.codes[pos], codes[pos]);
+            }
+            self.totals[pos] += totals[pos];
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.totals.capacity() * std::mem::size_of::<f32>() + self.codes.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::test_support::conformance;
+
+    #[test]
+    fn conforms() {
+        // The codebook caps peaks at 0.84 and quantises coarsely; the
+        // conformance suite's dominant-component checks still pass at this
+        // generous tolerance.
+        conformance::<CentDiscAccumulator>(0.2, 0.8);
+    }
+
+    #[test]
+    fn codebook_is_full_and_normalised() {
+        let book = Codebook::shared();
+        assert_eq!(book.centroids.len(), CODEBOOK_SIZE);
+        for (i, c) in book.centroids.iter().enumerate() {
+            let s: f64 = c.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "centroid {i} sums to {s}");
+            assert!(c.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn codebook_has_no_duplicates() {
+        let book = Codebook::shared();
+        for i in 0..CODEBOOK_SIZE {
+            for j in (i + 1)..CODEBOOK_SIZE {
+                assert!(
+                    dist2(&book.centroids[i], &book.centroids[j]) > 1e-6,
+                    "centroids {i} and {j} coincide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_table_is_closed_and_symmetric() {
+        let book = Codebook::shared();
+        for a in (0..CODEBOOK_SIZE).step_by(17) {
+            for b in (0..CODEBOOK_SIZE).step_by(13) {
+                let ab = book.combine(a as u8, b as u8);
+                let ba = book.combine(b as u8, a as u8);
+                assert_eq!(ab, ba);
+            }
+            // Combining a codeword with itself must be itself (the average
+            // of c and c is c, and c is its own nearest centroid).
+            assert_eq!(book.combine(a as u8, a as u8), a as u8);
+        }
+    }
+
+    #[test]
+    fn encode_decode_identity_on_centroids() {
+        let book = Codebook::shared();
+        for code in (0..CODEBOOK_SIZE).step_by(7) {
+            let c = *book.centroid(code as u8);
+            assert_eq!(book.encode(&c), code as u8);
+        }
+    }
+
+    #[test]
+    fn paper_example_states_are_representable() {
+        let book = Codebook::shared();
+        // Single 'a': γ = [0.84, 0.04, 0.04, 0.04, 0.04].
+        let code = book.encode(&[0.84, 0.04, 0.04, 0.04, 0.04]);
+        let c = book.centroid(code);
+        assert!((c[0] - 0.84).abs() < 1e-9, "exact single-a state: {c:?}");
+        // a→g SNP: γ = [0.28, 0.08, 0.48, 0.08, 0.08].
+        let code = book.encode(&[0.28, 0.08, 0.48, 0.08, 0.08]);
+        let c = book.centroid(code);
+        assert!(c[2] > c[0] && c[0] > c[1], "transition mix shape: {c:?}");
+    }
+
+    #[test]
+    fn exponential_forgetting_is_reproduced() {
+        // 19 clean 'A' reads followed by one erroneous 'G' read: with
+        // equal-weight table addition the final distribution weights the
+        // last read at ~50%, wildly over-representing G. This is the
+        // Table III accuracy pathology, asserted explicitly.
+        let mut a = CentDiscAccumulator::new(1);
+        for _ in 0..19 {
+            a.add(0, &[0.97, 0.01, 0.01, 0.01, 0.0]);
+        }
+        a.add(0, &[0.01, 0.01, 0.97, 0.01, 0.0]);
+        let c = a.counts(0);
+        let g_fraction = c[2] / a.total(0);
+        assert!(
+            g_fraction > 0.25,
+            "one late G read should dominate ~half the mass: {c:?}"
+        );
+        // A faithful accumulator would put G at ~1/20 = 5%.
+    }
+
+    #[test]
+    fn totals_are_exact_even_though_distributions_are_not() {
+        let mut a = CentDiscAccumulator::new(1);
+        for _ in 0..50 {
+            a.add(0, &[0.5, 0.5, 0.0, 0.0, 0.0]);
+        }
+        assert!((a.total(0) - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn merge_uses_the_table() {
+        let mut a = CentDiscAccumulator::new(2);
+        let mut b = CentDiscAccumulator::new(2);
+        a.add(0, &[1.0, 0.0, 0.0, 0.0, 0.0]);
+        b.add(0, &[0.0, 0.0, 1.0, 0.0, 0.0]);
+        b.add(1, &[0.0, 1.0, 0.0, 0.0, 0.0]);
+        a.merge_from(&b);
+        assert!((a.total(0) - 2.0).abs() < 1e-6);
+        let c = a.counts(0);
+        // Equal-weight A+G average → a transition-mix codeword.
+        assert!(c[0] > 0.2 && c[2] > 0.2, "A/G mixture expected: {c:?}");
+        // Position empty on one side copies the other side's codeword.
+        let c1 = a.counts(1);
+        assert!(c1[1] / a.total(1) > 0.8, "{c1:?}");
+    }
+
+    #[test]
+    fn heap_bytes_is_five_per_base() {
+        let a = CentDiscAccumulator::new(1000);
+        assert_eq!(a.heap_bytes(), 5_000);
+        assert!(Codebook::shared().table_bytes() > 65_000);
+    }
+}

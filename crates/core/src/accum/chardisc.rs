@@ -1,0 +1,264 @@
+//! Nucleotide-byte discretization (paper Section VI-B.1).
+//!
+//! Per genome position: one `f32` running total plus five bytes holding the
+//! *proportion* of each symbol. The paper's worked examples
+//! (`[255,0,0,0,0]` for one `a`; `[128,0,0,127,0]` for one `a` and one `t`)
+//! show the byte vector summing to 255, so proportions are stored as
+//! `round(fraction × 255)` — we follow the examples rather than the prose's
+//! "divide by 128" (see DESIGN.md §2).
+//!
+//! Updating decodes the bytes to real counts (`byte/255 × total`), adds the
+//! new evidence, then re-encodes against the new total with
+//! largest-remainder rounding so the bytes always sum to exactly 255. The
+//! paper's saturation pathology falls out naturally: once the total is
+//! large, a single read's contribution is below the quantum `total/255`
+//! and rounds away.
+
+use super::{GenomeAccumulator, NUM_SYMBOLS};
+
+/// One `f32` total + five proportion bytes per position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharDiscAccumulator {
+    totals: Vec<f32>,
+    bytes: Vec<[u8; NUM_SYMBOLS]>,
+}
+
+/// Encode real counts (summing to `total`) as proportion bytes summing to
+/// exactly 255, by largest-remainder apportionment.
+pub(crate) fn encode_bytes(counts: &[f64; NUM_SYMBOLS], total: f64) -> [u8; NUM_SYMBOLS] {
+    if total <= 0.0 {
+        return [0; NUM_SYMBOLS];
+    }
+    let mut floors = [0u16; NUM_SYMBOLS];
+    let mut remainders = [0.0f64; NUM_SYMBOLS];
+    let mut assigned = 0u16;
+    for k in 0..NUM_SYMBOLS {
+        let exact = counts[k].max(0.0) / total * 255.0;
+        let fl = exact.floor().min(255.0);
+        floors[k] = fl as u16;
+        remainders[k] = exact - fl;
+        assigned += floors[k];
+    }
+    // Distribute the leftover units to the largest remainders.
+    let mut order = [0usize, 1, 2, 3, 4];
+    order.sort_by(|&a, &b| remainders[b].total_cmp(&remainders[a]).then(a.cmp(&b)));
+    let mut leftover = 255u16.saturating_sub(assigned);
+    for &k in &order {
+        if leftover == 0 {
+            break;
+        }
+        floors[k] += 1;
+        leftover -= 1;
+    }
+    let mut out = [0u8; NUM_SYMBOLS];
+    for k in 0..NUM_SYMBOLS {
+        out[k] = floors[k].min(255) as u8;
+    }
+    out
+}
+
+fn decode(bytes: &[u8; NUM_SYMBOLS], total: f32) -> [f64; NUM_SYMBOLS] {
+    let total = total as f64;
+    let mut out = [0.0; NUM_SYMBOLS];
+    if total <= 0.0 {
+        return out;
+    }
+    for k in 0..NUM_SYMBOLS {
+        out[k] = bytes[k] as f64 / 255.0 * total;
+    }
+    out
+}
+
+impl GenomeAccumulator for CharDiscAccumulator {
+    /// Wire form: per-position total followed by its five bytes, flattened
+    /// as `(totals, bytes)`.
+    type Wire = (Vec<f32>, Vec<u8>);
+
+    fn new(len: usize) -> Self {
+        CharDiscAccumulator {
+            totals: vec![0.0; len],
+            bytes: vec![[0; NUM_SYMBOLS]; len],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    fn add(&mut self, pos: usize, delta: &[f64; NUM_SYMBOLS]) {
+        debug_assert!(delta.iter().all(|&d| d >= 0.0));
+        let delta_total: f64 = delta.iter().sum();
+        if delta_total <= 0.0 {
+            return;
+        }
+        let mut real = decode(&self.bytes[pos], self.totals[pos]);
+        for k in 0..NUM_SYMBOLS {
+            real[k] += delta[k];
+        }
+        let new_total = self.totals[pos] as f64 + delta_total;
+        self.bytes[pos] = encode_bytes(&real, new_total);
+        self.totals[pos] = new_total as f32;
+    }
+
+    fn counts(&self, pos: usize) -> [f64; NUM_SYMBOLS] {
+        decode(&self.bytes[pos], self.totals[pos])
+    }
+
+    fn total(&self, pos: usize) -> f64 {
+        self.totals[pos] as f64
+    }
+
+    fn to_wire(&self) -> Self::Wire {
+        let mut bytes = Vec::with_capacity(self.bytes.len() * NUM_SYMBOLS);
+        for b in &self.bytes {
+            bytes.extend_from_slice(b);
+        }
+        (self.totals.clone(), bytes)
+    }
+
+    fn merge_wire(&mut self, wire: &Self::Wire) {
+        let (totals, bytes) = wire;
+        assert_eq!(totals.len(), self.len());
+        assert_eq!(bytes.len(), self.len() * NUM_SYMBOLS);
+        for pos in 0..self.len() {
+            let other_total = totals[pos];
+            if other_total <= 0.0 {
+                continue;
+            }
+            let mut other_bytes = [0u8; NUM_SYMBOLS];
+            other_bytes.copy_from_slice(&bytes[pos * NUM_SYMBOLS..(pos + 1) * NUM_SYMBOLS]);
+            // The reduction phase: decode both sides to real space, add,
+            // re-encode (paper Section VI-B.2's description of the CHARDISC
+            // MPI sum).
+            let mut real = decode(&self.bytes[pos], self.totals[pos]);
+            let other = decode(&other_bytes, other_total);
+            for k in 0..NUM_SYMBOLS {
+                real[k] += other[k];
+            }
+            let new_total = self.totals[pos] as f64 + other_total as f64;
+            self.bytes[pos] = encode_bytes(&real, new_total);
+            self.totals[pos] = new_total as f32;
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.totals.capacity() * std::mem::size_of::<f32>()
+            + self.bytes.capacity() * NUM_SYMBOLS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::test_support::conformance;
+
+    #[test]
+    fn conforms() {
+        // Quantum is 1/255 of the total; tolerance reflects that.
+        conformance::<CharDiscAccumulator>(2.0 / 255.0, 0.95);
+    }
+
+    #[test]
+    fn paper_worked_examples() {
+        // One 'a': φ = [255, 0, 0, 0, 0].
+        let mut a = CharDiscAccumulator::new(1);
+        a.add(0, &[1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(a.bytes[0], [255, 0, 0, 0, 0]);
+        // One 'a' and one 't': φ = {128, 127} split.
+        a.add(0, &[0.0, 0.0, 0.0, 1.0, 0.0]);
+        let b = a.bytes[0];
+        assert_eq!(b[0] as u16 + b[3] as u16, 255);
+        assert!(b[0] == 128 || b[0] == 127, "near-even split: {b:?}");
+        // 254 a's and one t: φ = [254, 0, 0, 1, 0].
+        let mut a = CharDiscAccumulator::new(1);
+        a.add(0, &[254.0, 0.0, 0.0, 0.0, 0.0]);
+        a.add(0, &[0.0, 0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(a.bytes[0], [254, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn bytes_always_sum_to_255_when_nonzero() {
+        let mut a = CharDiscAccumulator::new(1);
+        let deltas = [
+            [0.3, 0.3, 0.2, 0.1, 0.1],
+            [0.01, 0.0, 0.9, 0.0, 0.09],
+            [1.0, 1.0, 1.0, 1.0, 1.0],
+            [0.2, 0.0, 0.0, 0.0, 0.0],
+        ];
+        for d in &deltas {
+            a.add(0, d);
+            let sum: u16 = a.bytes[0].iter().map(|&b| b as u16).sum();
+            assert_eq!(sum, 255, "bytes {:?}", a.bytes[0]);
+        }
+    }
+
+    #[test]
+    fn saturation_drowns_sub_quantum_signals() {
+        // The documented pathology: once the total is large, the byte
+        // quantum is `total/255`, and a contribution below half a quantum
+        // rounds away entirely (a full unit survives — rounded up to one
+        // quantum — but a weak partial-probability contribution does not).
+        let mut a = CharDiscAccumulator::new(1);
+        for _ in 0..1000 {
+            a.add(0, &[1.0, 0.0, 0.0, 0.0, 0.0]);
+        }
+        // Quantum ≈ 1000/255 ≈ 3.9; 0.2 units of T is far below half of it.
+        a.add(0, &[0.0, 0.0, 0.0, 0.2, 0.0]);
+        let c = a.counts(0);
+        assert_eq!(c[3], 0.0, "sub-quantum signal should vanish: {c:?}");
+
+        // Contrast: at low totals the same 0.2-unit signal survives.
+        let mut b = CharDiscAccumulator::new(1);
+        for _ in 0..10 {
+            b.add(0, &[1.0, 0.0, 0.0, 0.0, 0.0]);
+        }
+        b.add(0, &[0.0, 0.0, 0.0, 0.2, 0.0]);
+        assert!(b.counts(0)[3] > 0.1, "{:?}", b.counts(0));
+    }
+
+    #[test]
+    fn moderate_coverage_keeps_minor_alleles() {
+        // At the paper's recommended 10–40x coverage the quantum is small
+        // enough that a heterozygous 50/50 site survives intact.
+        let mut a = CharDiscAccumulator::new(1);
+        for i in 0..20 {
+            if i % 2 == 0 {
+                a.add(0, &[1.0, 0.0, 0.0, 0.0, 0.0]);
+            } else {
+                a.add(0, &[0.0, 0.0, 1.0, 0.0, 0.0]);
+            }
+        }
+        let c = a.counts(0);
+        assert!((c[0] - 10.0).abs() < 0.2, "{c:?}");
+        assert!((c[2] - 10.0).abs() < 0.2, "{c:?}");
+    }
+
+    #[test]
+    fn merge_pools_proportions() {
+        let mut a = CharDiscAccumulator::new(1);
+        let mut b = CharDiscAccumulator::new(1);
+        for _ in 0..6 {
+            a.add(0, &[1.0, 0.0, 0.0, 0.0, 0.0]);
+            b.add(0, &[0.0, 1.0, 0.0, 0.0, 0.0]);
+        }
+        a.merge_from(&b);
+        assert!((a.total(0) - 12.0).abs() < 1e-4);
+        let c = a.counts(0);
+        assert!((c[0] - 6.0).abs() < 0.1 && (c[1] - 6.0).abs() < 0.1, "{c:?}");
+    }
+
+    #[test]
+    fn heap_bytes_is_nine_per_base() {
+        let a = CharDiscAccumulator::new(1000);
+        assert_eq!(a.heap_bytes(), 9_000);
+    }
+
+    #[test]
+    fn encode_handles_degenerate_inputs() {
+        assert_eq!(encode_bytes(&[0.0; 5], 0.0), [0; 5]);
+        let b = encode_bytes(&[1.0, 0.0, 0.0, 0.0, 0.0], 1.0);
+        assert_eq!(b, [255, 0, 0, 0, 0]);
+        let b = encode_bytes(&[0.2; 5], 1.0);
+        assert_eq!(b.iter().map(|&x| x as u16).sum::<u16>(), 255);
+    }
+}

@@ -1,0 +1,123 @@
+//! The reference accumulator: five `f32` per genome position.
+//!
+//! This is the layout the paper's footnote prices at ~100 GB for the whole
+//! human genome — exact (up to `f32` rounding) but memory-hungry, which is
+//! what motivates the two discretized variants.
+
+use super::{GenomeAccumulator, NUM_SYMBOLS};
+
+/// Five packed `f32` counts per position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormAccumulator {
+    counts: Vec<[f32; NUM_SYMBOLS]>,
+}
+
+impl GenomeAccumulator for NormAccumulator {
+    type Wire = Vec<f32>;
+
+    fn new(len: usize) -> Self {
+        NormAccumulator {
+            counts: vec![[0.0; NUM_SYMBOLS]; len],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn add(&mut self, pos: usize, delta: &[f64; NUM_SYMBOLS]) {
+        debug_assert!(delta.iter().all(|&d| d >= 0.0));
+        let slot = &mut self.counts[pos];
+        for k in 0..NUM_SYMBOLS {
+            slot[k] += delta[k] as f32;
+        }
+    }
+
+    fn counts(&self, pos: usize) -> [f64; NUM_SYMBOLS] {
+        let c = &self.counts[pos];
+        [
+            c[0] as f64,
+            c[1] as f64,
+            c[2] as f64,
+            c[3] as f64,
+            c[4] as f64,
+        ]
+    }
+
+    fn to_wire(&self) -> Vec<f32> {
+        let mut wire = Vec::with_capacity(self.counts.len() * NUM_SYMBOLS);
+        for c in &self.counts {
+            wire.extend_from_slice(c);
+        }
+        wire
+    }
+
+    fn merge_wire(&mut self, wire: &Vec<f32>) {
+        assert_eq!(wire.len(), self.counts.len() * NUM_SYMBOLS);
+        for (pos, chunk) in wire.chunks_exact(NUM_SYMBOLS).enumerate() {
+            let slot = &mut self.counts[pos];
+            for k in 0..NUM_SYMBOLS {
+                slot[k] += chunk[k];
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<[f32; NUM_SYMBOLS]>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::test_support::conformance;
+
+    #[test]
+    fn conforms() {
+        conformance::<NormAccumulator>(1e-6, 0.95);
+    }
+
+    #[test]
+    fn add_is_exact_up_to_f32() {
+        let mut a = NormAccumulator::new(3);
+        a.add(0, &[0.1, 0.2, 0.3, 0.4, 0.0]);
+        a.add(0, &[0.1, 0.2, 0.3, 0.4, 0.0]);
+        let c = a.counts(0);
+        for (k, expect) in [0.2, 0.4, 0.6, 0.8, 0.0].iter().enumerate() {
+            assert!((c[k] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_merges_exactly() {
+        let mut a = NormAccumulator::new(5);
+        a.add(4, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut b = NormAccumulator::new(5);
+        b.merge_wire(&a.to_wire());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let mut a = NormAccumulator::new(2);
+        let mut b = NormAccumulator::new(2);
+        a.add(0, &[1.0, 0.0, 0.0, 0.0, 0.0]);
+        b.add(0, &[0.0, 2.0, 0.0, 0.0, 0.0]);
+        a.merge_from(&b);
+        assert_eq!(a.counts(0), [1.0, 2.0, 0.0, 0.0, 0.0]);
+        assert_eq!(a.total(0), 3.0);
+    }
+
+    #[test]
+    fn heap_bytes_is_twenty_per_base() {
+        let a = NormAccumulator::new(1000);
+        assert_eq!(a.heap_bytes(), 20_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_length_mismatch_panics() {
+        let mut a = NormAccumulator::new(2);
+        a.merge_wire(&vec![0.0; 5]);
+    }
+}

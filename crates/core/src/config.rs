@@ -1,0 +1,32 @@
+//! Top-level pipeline configuration.
+
+use crate::accum::AccumulatorMode;
+use crate::mapping::MappingConfig;
+use crate::snpcall::SnpCallConfig;
+
+/// Everything a GNUMAP-SNP run needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GnumapConfig {
+    /// Seeding + Pair-HMM alignment parameters.
+    pub mapping: MappingConfig,
+    /// LRT / cutoff parameters.
+    pub calling: SnpCallConfig,
+    /// Which accumulator layout to use (paper Section VI-B).
+    pub accumulator: AccumulatorMode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        let cfg = GnumapConfig::default();
+        assert_eq!(cfg.mapping.index.k, 10, "paper's default mer size");
+        assert_eq!(cfg.accumulator, AccumulatorMode::Norm);
+        assert_eq!(
+            cfg.calling.ploidy,
+            gnumap_stats::lrt::Ploidy::Monoploid
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Genome-split (spread-memory) MPI decomposition (paper Section VI
+//! Step 1, second mode).
+//!
+//! "The genome is split into equal segments and distributed across the
+//! participating machines ... In order to find the normalized posterior
+//! probability score for each read at a given location, GNUMAP must find
+//! all locations throughout the entire genome to which a given read
+//! aligns. Communication between machines via message passing determines
+//! \[these\] additional locations and calculates the final score."
+//!
+//! Concretely:
+//!
+//! 1. Rank `r` owns the contiguous shard `[s_r, e_r)` and indexes only its
+//!    own slice (plus a margin of one window so boundary-crossing
+//!    placements are still seen by their owner). Memory per rank shrinks
+//!    by ~`1/ranks` — the entire point of this mode.
+//! 2. Every rank scans **all** reads, scoring only placements whose window
+//!    starts inside its shard. The per-read normalising constants are then
+//!    combined across ranks with an allreduce per read batch — this is the
+//!    communication that makes the mode slower than read-split (Figure 4).
+//! 3. Evidence deposited into the margin beyond `e_r` is shipped to the
+//!    next rank and folded in.
+//! 4. Each rank calls SNPs on its own shard; calls are gathered at rank 0.
+//!
+//! FDR note: with `Cutoff::Fdr` each shard applies Benjamini–Hochberg over
+//! its own positions (a per-shard approximation); use `Cutoff::PValue` when
+//! bit-identical agreement with the serial pipeline is required.
+
+use crate::accum::GenomeAccumulator;
+use crate::config::GnumapConfig;
+use crate::driver::{decode_calls, encode_calls};
+use crate::mapping::MappingEngine;
+use crate::report::RunReport;
+use crate::snpcall::call_snps_with_offset;
+use genome::read::SequencedRead;
+use genome::region::Region;
+use genome::seq::DnaSeq;
+use mpisim::World;
+use std::time::Instant;
+
+/// Reads per normalisation round-trip. The paper's description implies the
+/// cross-rank score combination happens per read; batching 16 reads per
+/// allreduce keeps the simulation tractable while leaving the
+/// communication latency visible — it is exactly this per-batch traffic
+/// that makes the spread-memory mode trail the shared-memory mode in
+/// Figure 4.
+const BATCH: usize = 16;
+
+/// Message tag for margin hand-off.
+const MARGIN_TAG: u64 = 11;
+
+/// Run the genome-split decomposition on `ranks` simulated MPI ranks.
+pub fn run_genome_split<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    ranks: usize,
+) -> RunReport {
+    assert!(ranks >= 1, "need at least one rank");
+    let start = Instant::now();
+    let world = World::new(ranks);
+    let shards = Region::shards(reference.len(), ranks);
+    let max_read_len = reads.iter().map(SequencedRead::len).max().unwrap_or(0);
+    // A window can start pad bases before its placement and extend pad
+    // beyond the read; one full window of margin covers every overhang.
+    let margin = max_read_len + 2 * config.mapping.window_pad;
+
+    let (mut results, world_report) = world.run_with_report(|rank| {
+        let shard = shards[rank.id()];
+        let slice_start = shard.start;
+        let slice_end = (shard.end + margin).min(reference.len());
+        let slice = reference.window(slice_start, slice_end);
+
+        // Index only the local slice — the per-rank memory saving.
+        let engine = MappingEngine::new(&slice, config.mapping);
+        let mut acc = A::new(slice.len());
+        let mut mapped_here = 0u64;
+
+        for batch in reads.chunks(BATCH) {
+            // Score each read locally; keep only placements owned by this
+            // shard (placement start within [shard.start, shard.end)).
+            let mut local_totals = vec![0.0f64; batch.len()];
+            let mut owned: Vec<Vec<crate::mapping::RawAlignment>> =
+                Vec::with_capacity(batch.len());
+            for (i, read) in batch.iter().enumerate() {
+                let raw: Vec<_> = engine
+                    .map_read_raw(read)
+                    .into_iter()
+                    .filter(|a| {
+                        let global_placement = slice_start + a.placement_start;
+                        shard.contains(global_placement)
+                    })
+                    .collect();
+                local_totals[i] = raw.iter().map(|a| a.likelihood).sum();
+                owned.push(raw);
+            }
+
+            // The normalising constant needs every shard's score — the
+            // per-batch communication of this mode.
+            let global_totals = rank.allreduce(local_totals, |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            });
+
+            for (i, alignments) in owned.into_iter().enumerate() {
+                if global_totals[i] <= 0.0 {
+                    continue;
+                }
+                if !alignments.is_empty() {
+                    mapped_here += 1;
+                }
+                for aln in alignments {
+                    let weight = aln.likelihood / global_totals[i];
+                    if weight < config.mapping.min_weight {
+                        continue;
+                    }
+                    crate::pipeline::deposit(&mut acc, aln.window_start, weight, &aln.columns);
+                }
+            }
+        }
+
+        // Hand the margin's evidence to the rank that owns it.
+        if rank.id() + 1 < rank.size() {
+            let own_len = shard.len();
+            let mut margin_wire: Vec<f64> = Vec::new();
+            for idx in own_len..acc.len() {
+                let c = acc.counts(idx);
+                margin_wire.extend_from_slice(&c);
+            }
+            rank.send(rank.id() + 1, MARGIN_TAG, margin_wire);
+        }
+        if rank.id() > 0 {
+            let margin_wire: Vec<f64> = rank.recv(rank.id() - 1, MARGIN_TAG);
+            for (offset, chunk) in margin_wire.chunks_exact(5).enumerate() {
+                let mut delta = [0.0; 5];
+                delta.copy_from_slice(chunk);
+                if delta.iter().sum::<f64>() > 0.0 && offset < acc.len() {
+                    acc.add(offset, &delta);
+                }
+            }
+        }
+
+        // Call SNPs over the owned region only (margin belongs to the
+        // neighbour) and gather everything at rank 0.
+        let calls = {
+            // A shard-length view: reuse the accumulator but stop the scan
+            // at the shard boundary by zero-extending a shard-only copy.
+            let mut shard_acc = A::new(shard.len());
+            for idx in 0..shard.len() {
+                let c = acc.counts(idx);
+                if c.iter().sum::<f64>() > 0.0 {
+                    shard_acc.add(idx, &c);
+                }
+            }
+            call_snps_with_offset(&shard_acc, reference, slice_start, &config.calling)
+        };
+        let call_wires = rank.gather(0, encode_calls(&calls));
+        let mapped_counts = rank.gather(0, mapped_here);
+        let acc_bytes = rank.reduce(0, acc.heap_bytes() as u64, |a, b| a + b);
+
+        if rank.id() == 0 {
+            let mut all_calls = Vec::new();
+            for wire in call_wires.expect("root gathers") {
+                all_calls.extend(decode_calls(&wire));
+            }
+            all_calls.sort_by_key(|c| c.pos);
+            let mapped_total: u64 = mapped_counts.expect("root gathers").iter().sum();
+            Some((
+                encode_calls(&all_calls),
+                mapped_total,
+                acc_bytes.expect("root reduces") as usize,
+            ))
+        } else {
+            None
+        }
+    });
+
+    let (call_wire, mapped_total, acc_bytes) =
+        results.swap_remove(0).expect("rank 0 returns the result");
+    RunReport {
+        calls: decode_calls(&call_wire),
+        reads_processed: reads.len(),
+        reads_mapped: mapped_total as usize,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        accumulator_bytes: acc_bytes,
+        traffic: Some(world_report.traffic),
+        rank_cpu_secs: world_report.rank_cpu_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::NormAccumulator;
+    use crate::pipeline::run_serial_with;
+
+    fn fixture() -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+        crate::pipeline::tests::fixture(4_000, 5, 12.0, 555)
+    }
+
+    #[test]
+    fn genome_split_matches_serial_calls() {
+        let (reference, _, reads) = fixture();
+        let cfg = GnumapConfig::default();
+        let serial = run_serial_with::<NormAccumulator>(&reference, &reads, &cfg);
+        for ranks in [1usize, 2, 4] {
+            let parallel =
+                run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+            let serial_pos: Vec<(usize, genome::alphabet::Base)> =
+                serial.calls.iter().map(|c| (c.pos, c.allele)).collect();
+            let parallel_pos: Vec<(usize, genome::alphabet::Base)> =
+                parallel.calls.iter().map(|c| (c.pos, c.allele)).collect();
+            assert_eq!(
+                parallel_pos, serial_pos,
+                "ranks={ranks}: genome-split must agree with serial"
+            );
+        }
+    }
+
+    #[test]
+    fn per_rank_memory_shrinks_with_ranks() {
+        let (reference, _, reads) = fixture();
+        let cfg = GnumapConfig::default();
+        let one = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 1);
+        let four = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
+        // Total accumulator bytes are similar (sum over ranks), but each of
+        // the 4 ranks holds ~1/4 + margin.
+        let per_rank_four = four.accumulator_bytes / 4;
+        assert!(
+            per_rank_four < one.accumulator_bytes / 2,
+            "per-rank accumulator should shrink: {} vs {}",
+            per_rank_four,
+            one.accumulator_bytes
+        );
+    }
+
+    #[test]
+    fn genome_split_communicates_more_than_read_split() {
+        // The Figure 4 mechanism: per-batch allreduces beat read-split's
+        // single end-of-run reduction in message count.
+        let (reference, _, reads) = fixture();
+        let cfg = GnumapConfig::default();
+        let gs = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
+        let rs = crate::driver::read_split::run_read_split::<NormAccumulator>(
+            &reference, &reads, &cfg, 4,
+        );
+        let gs_msgs = gs.traffic.unwrap().messages;
+        let rs_msgs = rs.traffic.unwrap().messages;
+        assert!(
+            gs_msgs > rs_msgs,
+            "genome-split should send more messages: {gs_msgs} vs {rs_msgs}"
+        );
+    }
+
+    #[test]
+    fn per_shard_fdr_still_recovers_strong_snps() {
+        // Under Cutoff::Fdr each shard runs Benjamini–Hochberg over its own
+        // positions (documented approximation). Strongly supported planted
+        // SNPs must survive regardless of how the shards cut the genome.
+        use crate::snpcall::{Cutoff, SnpCallConfig};
+        let (reference, truth, reads) = crate::pipeline::tests::fixture(4_000, 5, 14.0, 808);
+        let cfg = GnumapConfig {
+            calling: SnpCallConfig {
+                cutoff: Cutoff::Fdr(0.05),
+                ..SnpCallConfig::default()
+            },
+            ..GnumapConfig::default()
+        };
+        let report = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 5);
+        let acc = crate::report::score_snp_calls(&report.calls, &truth);
+        assert!(acc.true_positives >= 4, "{acc:?}");
+        assert!(acc.false_positives <= 1, "{acc:?}");
+    }
+
+    #[test]
+    fn boundary_snps_are_not_lost() {
+        // Place the shard boundary near a planted SNP by using many ranks
+        // on a small genome; every planted SNP must still be recovered.
+        let (reference, truth, reads) = crate::pipeline::tests::fixture(3_000, 6, 14.0, 999);
+        let report = run_genome_split::<NormAccumulator>(
+            &reference,
+            &reads,
+            &GnumapConfig::default(),
+            6,
+        );
+        let acc = crate::report::score_snp_calls(&report.calls, &truth);
+        assert!(
+            acc.true_positives >= 5,
+            "boundary handling lost SNPs: {acc:?}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Parallel drivers for the pipeline.
+//!
+//! Four execution strategies over the same algorithm:
+//!
+//! * [`rayon_driver`] — shared-memory threads with deterministic
+//!   chunk-ordered reduction (the "shared memory platform" of the
+//!   abstract);
+//! * [`read_split`] — the paper's first MPI decomposition: every rank
+//!   holds the full genome + index + accumulator, reads are partitioned,
+//!   accumulators are reduced at the end ("each machine will process the
+//!   entire genome, then map a different portion of the reads");
+//! * [`genome_split`] — the paper's second MPI decomposition: the genome
+//!   (index + accumulator) is sharded, every read is scored on every
+//!   shard, and per-read normalising constants travel by allreduce ("the
+//!   genome is split into equal segments ... communication between
+//!   machines determines \[the\] additional locations and calculates the
+//!   final score"). Lower memory per rank, more communication — the
+//!   Figure 4 trade-off.
+//!
+//! The serial pipeline lives in [`crate::pipeline`].
+
+pub mod genome_split;
+pub mod rayon_driver;
+pub mod read_split;
+
+use crate::snpcall::SnpCall;
+use genome::alphabet::Base;
+
+/// Flat encoding of SNP calls for rank-to-rank shipping: each call is
+/// `CALL_STRIDE` f64 values.
+const CALL_STRIDE: usize = 11;
+
+/// Encode calls into a flat `Vec<f64>` wire form.
+pub(crate) fn encode_calls(calls: &[SnpCall]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(calls.len() * CALL_STRIDE);
+    for c in calls {
+        out.push(c.pos as f64);
+        out.push(c.reference.index() as f64);
+        out.push(c.allele.index() as f64);
+        out.push(c.second_allele.map_or(-1.0, |b| b.index() as f64));
+        out.push(c.statistic);
+        out.push(c.p_adjusted);
+        out.extend_from_slice(&c.counts);
+    }
+    out
+}
+
+/// Decode the wire form produced by [`encode_calls`].
+pub(crate) fn decode_calls(wire: &[f64]) -> Vec<SnpCall> {
+    assert_eq!(wire.len() % CALL_STRIDE, 0, "corrupt call wire");
+    wire.chunks_exact(CALL_STRIDE)
+        .map(|c| {
+            let mut counts = [0.0; 5];
+            counts.copy_from_slice(&c[6..11]);
+            SnpCall {
+                pos: c[0] as usize,
+                reference: Base::from_index(c[1] as usize),
+                allele: Base::from_index(c[2] as usize),
+                second_allele: (c[3] >= 0.0).then(|| Base::from_index(c[3] as usize)),
+                statistic: c[4],
+                p_adjusted: c[5],
+                counts,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_wire_round_trip() {
+        let calls = vec![
+            SnpCall {
+                pos: 1234,
+                reference: Base::A,
+                allele: Base::G,
+                second_allele: None,
+                statistic: 42.5,
+                p_adjusted: 1e-9,
+                counts: [0.5, 0.0, 11.0, 0.25, 0.0],
+            },
+            SnpCall {
+                pos: 99,
+                reference: Base::T,
+                allele: Base::C,
+                second_allele: Some(Base::T),
+                statistic: 8.0,
+                p_adjusted: 0.02,
+                counts: [0.0, 6.0, 0.0, 5.5, 0.1],
+            },
+        ];
+        let wire = encode_calls(&calls);
+        assert_eq!(wire.len(), 2 * CALL_STRIDE);
+        assert_eq!(decode_calls(&wire), calls);
+    }
+
+    #[test]
+    fn empty_wire() {
+        assert!(decode_calls(&encode_calls(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn corrupt_wire_panics() {
+        let _ = decode_calls(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared-memory parallel driver (rayon).
+//!
+//! Reads are split into one chunk per worker; each worker maps its chunk
+//! into a private accumulator against the shared genome + index (built
+//! once — this is the "all the genome in shared memory for every process"
+//! mode of paper Figure 4, minus the per-process index duplication that
+//! real processes would pay). Private accumulators are then folded in
+//! chunk order, so the result is deterministic regardless of scheduling.
+
+use crate::accum::GenomeAccumulator;
+use crate::config::GnumapConfig;
+use crate::mapping::MappingEngine;
+use crate::pipeline::accumulate_reads;
+use crate::report::RunReport;
+use crate::snpcall::call_snps;
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Run the pipeline on `threads` rayon workers with accumulator type `A`.
+pub fn run_rayon<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    threads: usize,
+) -> RunReport {
+    assert!(threads >= 1, "need at least one thread");
+    let start = Instant::now();
+    let engine = MappingEngine::new(reference, config.mapping);
+
+    // One contiguous chunk per worker keeps the reduction order defined.
+    let chunk_size = reads.len().div_ceil(threads).max(1);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+
+    let partials: Vec<(A, usize)> = pool.install(|| {
+        reads
+            .par_chunks(chunk_size)
+            .map(|chunk| {
+                let mut acc = A::new(reference.len());
+                let mapped = accumulate_reads(&engine, chunk, &mut acc);
+                (acc, mapped)
+            })
+            .collect()
+    });
+
+    // Deterministic fold in chunk order.
+    let mut iter = partials.into_iter();
+    let (mut acc, mut mapped) = iter
+        .next()
+        .unwrap_or_else(|| (A::new(reference.len()), 0));
+    for (partial, m) in iter {
+        acc.merge_from(&partial);
+        mapped += m;
+    }
+
+    let calls = call_snps(&acc, reference, &config.calling);
+    RunReport {
+        calls,
+        reads_processed: reads.len(),
+        reads_mapped: mapped,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        accumulator_bytes: acc.heap_bytes(),
+        traffic: None,
+        rank_cpu_secs: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::NormAccumulator;
+    use crate::pipeline::run_serial_with;
+
+    fn fixture() -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+        crate::pipeline::tests::fixture(4_000, 5, 12.0, 77)
+    }
+
+    #[test]
+    fn rayon_matches_serial_for_norm() {
+        let (reference, _, reads) = fixture();
+        let cfg = GnumapConfig::default();
+        let serial = run_serial_with::<NormAccumulator>(&reference, &reads, &cfg);
+        for threads in [1usize, 2, 4] {
+            let parallel = run_rayon::<NormAccumulator>(&reference, &reads, &cfg, threads);
+            assert_eq!(
+                parallel.calls.len(),
+                serial.calls.len(),
+                "threads={threads}: call count must match serial"
+            );
+            for (p, s) in parallel.calls.iter().zip(&serial.calls) {
+                assert_eq!(p.pos, s.pos, "threads={threads}");
+                assert_eq!(p.allele, s.allele);
+                // f32 accumulation order differs between chunkings; the
+                // statistics agree to float tolerance.
+                assert!((p.statistic - s.statistic).abs() < 1e-3);
+            }
+            assert_eq!(parallel.reads_mapped, serial.reads_mapped);
+        }
+    }
+
+    #[test]
+    fn rayon_finds_the_planted_snps() {
+        let (reference, truth, reads) = fixture();
+        let report =
+            run_rayon::<NormAccumulator>(&reference, &reads, &GnumapConfig::default(), 3);
+        let acc = crate::report::score_snp_calls(&report.calls, &truth);
+        assert!(acc.true_positives >= 4, "{acc:?}");
+    }
+
+    #[test]
+    fn empty_reads_are_fine() {
+        let (reference, _, _) = fixture();
+        let report =
+            run_rayon::<NormAccumulator>(&reference, &[], &GnumapConfig::default(), 2);
+        assert!(report.calls.is_empty());
+        assert_eq!(report.reads_processed, 0);
+    }
+}

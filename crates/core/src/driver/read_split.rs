@@ -1,0 +1,221 @@
+//! Read-split MPI decomposition (paper Section VI Step 1, first mode).
+//!
+//! "If the genome is small enough to fit on a single computer, each machine
+//! will process the entire genome, then map a different portion of the
+//! reads. At the end of the run, each of the machines will communicate the
+//! state of their genome and SNPs will be called accordingly."
+//!
+//! Every rank builds the full index (duplicated work, like the real
+//! system), maps its strided share of the reads into a full-genome
+//! accumulator, and rank 0 folds all accumulators in rank order before
+//! calling SNPs once. Communication is one genome-sized accumulator per
+//! rank — large but happening exactly once, which is why this mode scales
+//! almost linearly in Figure 4.
+
+use crate::accum::GenomeAccumulator;
+use crate::config::GnumapConfig;
+use crate::driver::{decode_calls, encode_calls};
+use crate::mapping::MappingEngine;
+use crate::report::RunReport;
+use crate::snpcall::call_snps;
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use mpisim::World;
+use std::time::Instant;
+
+/// Run the read-split decomposition on `ranks` simulated MPI ranks.
+pub fn run_read_split<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    ranks: usize,
+) -> RunReport {
+    assert!(ranks >= 1, "need at least one rank");
+    let start = Instant::now();
+    let world = World::new(ranks);
+
+    let (mut results, world_report) = world.run_with_report(|rank| {
+        // Every rank indexes the whole genome (the duplicated preprocessing
+        // of the shared-genome mode).
+        let engine = MappingEngine::new(reference, config.mapping);
+        let mut acc = A::new(reference.len());
+
+        // Strided read partition: rank r maps reads r, r+n, r+2n, ...
+        let my_reads: Vec<&SequencedRead> = reads
+            .iter()
+            .skip(rank.id())
+            .step_by(rank.size())
+            .collect();
+        let mut mapped = 0usize;
+        for read in my_reads {
+            let alignments = engine.map_read(read);
+            if !alignments.is_empty() {
+                mapped += 1;
+            }
+            for aln in alignments {
+                crate::pipeline::deposit(&mut acc, aln.window_start, aln.weight, &aln.columns);
+            }
+        }
+        // "Communicate the state of their genome": gather accumulator
+        // wires at rank 0, which folds them in rank order.
+        let wires = rank.gather(0, acc.to_wire());
+        let mapped_counts = rank.gather(0, mapped as u64);
+        if rank.id() == 0 {
+            let mut total_acc = A::new(reference.len());
+            for wire in wires.expect("root gathers") {
+                total_acc.merge_wire(&wire);
+            }
+            let calls = call_snps(&total_acc, reference, &config.calling);
+            let mapped_total: u64 = mapped_counts.expect("root gathers").iter().sum();
+            Some((encode_calls(&calls), mapped_total, total_acc.heap_bytes()))
+        } else {
+            None
+        }
+    });
+
+    let (call_wire, mapped_total, acc_bytes) = results
+        .swap_remove(0)
+        .expect("rank 0 returns the result");
+    RunReport {
+        calls: decode_calls(&call_wire),
+        reads_processed: reads.len(),
+        reads_mapped: mapped_total as usize,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        accumulator_bytes: acc_bytes,
+        traffic: Some(world_report.traffic),
+        rank_cpu_secs: world_report.rank_cpu_secs,
+    }
+}
+
+/// Read-split with a **ring allreduce** for the accumulator reduction
+/// (NORM layout only — the ring needs a flat elementwise-summable wire).
+///
+/// The plain read-split funnels every rank's genome-length accumulator
+/// through rank 0, so the root receives `(ranks−1) × 20 B/base`; the ring
+/// moves `≈ 2 × 20 B/base` through *every* rank regardless of rank count —
+/// the standard bandwidth-optimal alternative, included as an ablation of
+/// the reduction strategy.
+pub fn run_read_split_ring(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    ranks: usize,
+) -> RunReport {
+    use crate::accum::NormAccumulator;
+    assert!(ranks >= 1, "need at least one rank");
+    let start = Instant::now();
+    let world = World::new(ranks);
+
+    let (mut results, world_report) = world.run_with_report(|rank| {
+        let engine = MappingEngine::new(reference, config.mapping);
+        let mut acc = NormAccumulator::new(reference.len());
+        let mut mapped = 0usize;
+        for read in reads.iter().skip(rank.id()).step_by(rank.size()) {
+            let alignments = engine.map_read(read);
+            if !alignments.is_empty() {
+                mapped += 1;
+            }
+            for aln in alignments {
+                crate::pipeline::deposit(&mut acc, aln.window_start, aln.weight, &aln.columns);
+            }
+        }
+        // Every rank ends up with the fully reduced accumulator.
+        let reduced = rank.ring_allreduce(acc.to_wire(), |a, b| a + b);
+        let mapped_total = rank.allreduce(mapped as u64, |a, b| a + b);
+        if rank.id() == 0 {
+            let mut total_acc = NormAccumulator::new(reference.len());
+            total_acc.merge_wire(&reduced);
+            let calls = call_snps(&total_acc, reference, &config.calling);
+            Some((encode_calls(&calls), mapped_total, total_acc.heap_bytes()))
+        } else {
+            None
+        }
+    });
+
+    let (call_wire, mapped_total, acc_bytes) = results
+        .swap_remove(0)
+        .expect("rank 0 returns the result");
+    RunReport {
+        calls: decode_calls(&call_wire),
+        reads_processed: reads.len(),
+        reads_mapped: mapped_total as usize,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        accumulator_bytes: acc_bytes,
+        traffic: Some(world_report.traffic),
+        rank_cpu_secs: world_report.rank_cpu_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::{CharDiscAccumulator, NormAccumulator};
+    use crate::pipeline::run_serial_with;
+
+    fn fixture() -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+        crate::pipeline::tests::fixture(4_000, 5, 12.0, 321)
+    }
+
+    #[test]
+    fn read_split_matches_serial_for_norm() {
+        let (reference, _, reads) = fixture();
+        let cfg = GnumapConfig::default();
+        let serial = run_serial_with::<NormAccumulator>(&reference, &reads, &cfg);
+        for ranks in [1usize, 2, 3, 5] {
+            let parallel =
+                run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+            assert_eq!(
+                parallel.calls.len(),
+                serial.calls.len(),
+                "ranks={ranks}: call count must match serial"
+            );
+            for (p, s) in parallel.calls.iter().zip(&serial.calls) {
+                assert_eq!(p.pos, s.pos);
+                assert_eq!(p.allele, s.allele);
+                // f32 accumulation order differs; statistics agree closely.
+                assert!((p.statistic - s.statistic).abs() < 1e-3);
+            }
+            assert_eq!(parallel.reads_mapped, serial.reads_mapped);
+        }
+    }
+
+    #[test]
+    fn traffic_is_reported_and_scales_with_ranks() {
+        let (reference, _, reads) = fixture();
+        let cfg = GnumapConfig::default();
+        let two = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 2);
+        let four = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
+        let t2 = two.traffic.unwrap();
+        let t4 = four.traffic.unwrap();
+        assert!(t4.payload_bytes > t2.payload_bytes, "{t2} vs {t4}");
+        // Each non-root rank ships one genome-sized accumulator (~20 B/base).
+        assert!(t2.payload_bytes as usize >= reference.len() * 20);
+    }
+
+    #[test]
+    fn ring_reduction_matches_star_reduction() {
+        let (reference, _, reads) = fixture();
+        let cfg = GnumapConfig::default();
+        for ranks in [1usize, 2, 4] {
+            let star = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+            let ring = run_read_split_ring(&reference, &reads, &cfg, ranks);
+            let star_keys: Vec<_> = star.calls.iter().map(|c| (c.pos, c.allele)).collect();
+            let ring_keys: Vec<_> = ring.calls.iter().map(|c| (c.pos, c.allele)).collect();
+            assert_eq!(ring_keys, star_keys, "ranks={ranks}");
+            assert_eq!(ring.reads_mapped, star.reads_mapped);
+        }
+    }
+
+    #[test]
+    fn chardisc_read_split_still_finds_snps() {
+        let (reference, truth, reads) = fixture();
+        let report = run_read_split::<CharDiscAccumulator>(
+            &reference,
+            &reads,
+            &GnumapConfig::default(),
+            3,
+        );
+        let acc = crate::report::score_snp_calls(&report.calls, &truth);
+        assert!(acc.true_positives >= 3, "{acc:?}");
+    }
+}

@@ -1,0 +1,405 @@
+//! The probabilistic mapping engine (paper Figure 1, steps A–B).
+//!
+//! For each read: seed candidate placements through the k-mer index (both
+//! strands), run the quality-extended Pair-HMM against a padded genome
+//! window at each placement, and convert the per-window total likelihoods
+//! into **posterior weights** across all of the read's candidate locations
+//! (the normalised posterior probability scoring of GNUMAP \[7\]). A read
+//! that maps equally well to two repeat copies contributes half its
+//! evidence to each — exactly the multi-mapping behaviour the paper argues
+//! makes SNP calls unbiased in repeat regions.
+
+use genome::index::{IndexConfig, KmerIndex};
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use pairhmm::marginal::{ColumnPosterior, PosteriorAlignment};
+use pairhmm::params::PhmmParams;
+use pairhmm::pwm::Pwm;
+use std::collections::BTreeSet;
+
+/// Configuration of the mapping engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingConfig {
+    /// k-mer index parameters (paper default k = 10).
+    pub index: IndexConfig,
+    /// Pair-HMM transition/emission parameters.
+    pub phmm: PhmmParams,
+    /// Banded-DP half width; `None` runs the full quadratic DP.
+    pub band: Option<usize>,
+    /// Genome bases added on each side of a candidate placement window,
+    /// giving the alignment room for small indels. The model's boundary
+    /// conditions force alignments to *begin* with `x_1 : y_1` matched
+    /// (paper initialisation), so a left pad shifts the read into the pad
+    /// — windows are therefore padded on the right only when `window_pad
+    /// > 0`, and candidates too close to the genome start for a full
+    /// > window are dropped so every candidate is scored over the same
+    /// > window length (posterior weights must be comparable across
+    /// > locations). The default of 0 matches the substitution-dominated
+    /// > short-read regime; raise it to give indels room.
+    pub window_pad: usize,
+    /// Candidate locations with posterior weight below this are dropped
+    /// (and the rest renormalised).
+    pub min_weight: f64,
+    /// Hard cap on candidate placements evaluated per read.
+    pub max_candidates: usize,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig {
+            index: IndexConfig::default(),
+            phmm: PhmmParams::default(),
+            band: Some(4),
+            window_pad: 0,
+            min_weight: 1e-4,
+            max_candidates: 64,
+        }
+    }
+}
+
+/// One weighted alignment of a read to a genome window.
+#[derive(Debug, Clone)]
+pub struct ReadAlignment {
+    /// Genome position of the window's first column.
+    pub window_start: usize,
+    /// Posterior weight of this location among the read's candidates
+    /// (weights over a read's alignments sum to 1).
+    pub weight: f64,
+    /// Whether the read aligned on the reverse strand.
+    pub reverse: bool,
+    /// Per-column evidence vectors (each summing to 1), *unweighted*;
+    /// multiply by `weight` when depositing into an accumulator.
+    pub columns: Vec<ColumnPosterior>,
+}
+
+/// The engine: genome + index + config.
+pub struct MappingEngine<'g> {
+    genome: &'g DnaSeq,
+    index: KmerIndex,
+    config: MappingConfig,
+}
+
+impl<'g> MappingEngine<'g> {
+    /// Build the index over `genome` and wrap it with the configuration.
+    pub fn new(genome: &'g DnaSeq, config: MappingConfig) -> MappingEngine<'g> {
+        let index = KmerIndex::build(genome, config.index).expect("valid index config");
+        MappingEngine {
+            genome,
+            index,
+            config,
+        }
+    }
+
+    /// Construct around an existing index (used by the genome-split driver
+    /// to index a shard slice only).
+    pub fn with_index(
+        genome: &'g DnaSeq,
+        index: KmerIndex,
+        config: MappingConfig,
+    ) -> MappingEngine<'g> {
+        MappingEngine {
+            genome,
+            index,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MappingConfig {
+        &self.config
+    }
+
+    /// Borrow the seed index.
+    pub fn index(&self) -> &KmerIndex {
+        &self.index
+    }
+
+    /// Genome length.
+    pub fn genome_len(&self) -> usize {
+        self.genome.len()
+    }
+
+    /// Candidate placement starts for one oriented read: deduplicated
+    /// diagonals from the seed hits, in increasing genome order.
+    fn candidates(&self, oriented: &SequencedRead) -> Vec<usize> {
+        let mut starts = BTreeSet::new();
+        for (qoff, gpos) in self.index.seed_hits(&oriented.seq) {
+            let gpos = gpos as usize;
+            if gpos < qoff {
+                continue;
+            }
+            let start = gpos - qoff;
+            if start + oriented.len() <= self.genome.len() {
+                starts.insert(start);
+            }
+            if starts.len() >= self.config.max_candidates {
+                break;
+            }
+        }
+        starts.into_iter().collect()
+    }
+
+    /// Score one oriented read against the window at placement `start`.
+    /// Returns the window start, the alignment's total likelihood and its
+    /// per-column posteriors.
+    ///
+    /// Every candidate is scored over the same window length
+    /// `N + window_pad` (genome positions past the end become virtual `N`
+    /// bases), so likelihoods are directly comparable across a read's
+    /// candidate locations — a requirement for unbiased posterior weights.
+    fn score_candidate(
+        &self,
+        oriented: &SequencedRead,
+        pwm: &Pwm,
+        start: usize,
+    ) -> Option<(usize, f64, Vec<ColumnPosterior>)> {
+        let pad = self.config.window_pad;
+        let ws = start;
+        let window: Vec<_> = (0..oriented.len() + pad)
+            .map(|j| self.genome.try_get(ws + j).flatten())
+            .collect();
+        let emit = pwm.emission_table(&window, &self.config.phmm);
+        let post = match self.config.band {
+            Some(w) => {
+                PosteriorAlignment::from_emissions_banded(&emit, &self.config.phmm, w + pad)
+            }
+            None => PosteriorAlignment::from_emissions(&emit, &self.config.phmm),
+        };
+        let total = post.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let columns = post.column_posteriors(pwm);
+        Some((ws, total, columns))
+    }
+
+    /// Map one read returning **unnormalised** candidate alignments: each
+    /// carries its raw Pair-HMM total likelihood instead of a posterior
+    /// weight. The genome-split driver needs this form, because the
+    /// normalising constant must be computed *across shards* (paper:
+    /// "Communication between machines via message passing determines
+    /// \[the\] additional locations and calculates the final score").
+    pub fn map_read_raw(&self, read: &SequencedRead) -> Vec<RawAlignment> {
+        let rc = read.reverse_complement();
+        let mut raw: Vec<RawAlignment> = Vec::new();
+        for (reverse, oriented) in [(false, read), (true, &rc)] {
+            let pwm = Pwm::from_read(oriented);
+            for start in self.candidates(oriented) {
+                if let Some((ws, total, columns)) = self.score_candidate(oriented, &pwm, start)
+                {
+                    raw.push(RawAlignment {
+                        window_start: ws,
+                        placement_start: start,
+                        likelihood: total,
+                        reverse,
+                        columns,
+                    });
+                }
+            }
+        }
+        raw
+    }
+
+    /// Map one read: all candidate placements on both strands, scored and
+    /// posterior-normalised. Returns an empty vector for unmappable reads.
+    pub fn map_read(&self, read: &SequencedRead) -> Vec<ReadAlignment> {
+        let raw = self.map_read_raw(read);
+        let grand_total: f64 = raw.iter().map(|a| a.likelihood).sum();
+        if grand_total <= 0.0 {
+            return Vec::new();
+        }
+        // Posterior weights; drop negligible locations, renormalise.
+        let mut kept: Vec<ReadAlignment> = raw
+            .into_iter()
+            .filter_map(|a| {
+                let weight = a.likelihood / grand_total;
+                (weight >= self.config.min_weight).then_some(ReadAlignment {
+                    window_start: a.window_start,
+                    weight,
+                    reverse: a.reverse,
+                    columns: a.columns,
+                })
+            })
+            .collect();
+        let kept_sum: f64 = kept.iter().map(|a| a.weight).sum();
+        if kept_sum > 0.0 {
+            for a in &mut kept {
+                a.weight /= kept_sum;
+            }
+        }
+        kept
+    }
+}
+
+/// An unnormalised candidate alignment (see
+/// [`MappingEngine::map_read_raw`]).
+#[derive(Debug, Clone)]
+pub struct RawAlignment {
+    /// Genome position of the window's first column (placement minus pad).
+    pub window_start: usize,
+    /// Genome position the seeds proposed for read base 1.
+    pub placement_start: usize,
+    /// Raw Pair-HMM total likelihood of the window.
+    pub likelihood: f64,
+    /// Reverse-strand flag.
+    pub reverse: bool,
+    /// Per-column evidence vectors, unweighted.
+    pub columns: Vec<ColumnPosterior>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genome(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn cfg(k: usize) -> MappingConfig {
+        MappingConfig {
+            index: IndexConfig {
+                k,
+                ..IndexConfig::default()
+            },
+            ..MappingConfig::default()
+        }
+    }
+
+    fn read_from(g: &DnaSeq, start: usize, end: usize, q: u8) -> SequencedRead {
+        SequencedRead::with_uniform_quality("r", g.window(start, end), q)
+    }
+
+    #[test]
+    fn unique_read_gets_weight_one() {
+        let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCATGGACC");
+        let engine = MappingEngine::new(&g, cfg(8));
+        let read = read_from(&g, 10, 34, 35);
+        let alns = engine.map_read(&read);
+        assert_eq!(alns.len(), 1);
+        let a = &alns[0];
+        assert!((a.weight - 1.0).abs() < 1e-9);
+        assert!(!a.reverse);
+        // With no left pad the window starts at the placement itself.
+        assert_eq!(a.window_start, 10);
+        // Columns over the placement report the genome bases.
+        for (j, col) in a.columns.iter().enumerate() {
+            let gpos = a.window_start + j;
+            if (10..34).contains(&gpos) {
+                let expect = g.get(gpos).unwrap().index();
+                let argmax = (0..5)
+                    .max_by(|&x, &y| col.probs[x].total_cmp(&col.probs[y]))
+                    .unwrap();
+                assert_eq!(argmax, expect, "column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_strand_read_maps() {
+        let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCATGGACC");
+        let engine = MappingEngine::new(&g, cfg(8));
+        let read = SequencedRead::with_uniform_quality(
+            "r",
+            g.window(5, 30).reverse_complement(),
+            35,
+        );
+        let alns = engine.map_read(&read);
+        assert_eq!(alns.len(), 1);
+        assert!(alns[0].reverse);
+        assert_eq!(alns[0].window_start, 5);
+    }
+
+    #[test]
+    fn repeat_read_splits_weight_evenly() {
+        // Two identical copies: posterior weight ≈ ½ each — the defining
+        // behaviour of probabilistic mapping (paper Section V-B).
+        let unit = "ACGGTTCAGGCATTGCAAGCTTGGC";
+        let g = genome(&format!("{unit}TTATTATTAT{unit}"));
+        let engine = MappingEngine::new(&g, cfg(8));
+        let read = SequencedRead::with_uniform_quality("r", genome(unit), 35);
+        let alns = engine.map_read(&read);
+        assert_eq!(alns.len(), 2, "both copies found");
+        for a in &alns {
+            assert!(
+                (a.weight - 0.5).abs() < 1e-6,
+                "even split expected, got {}",
+                a.weight
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_copy_gets_less_weight() {
+        // Copy 2 differs from the read at one high-quality base: its
+        // posterior weight must be much smaller but non-zero.
+        let unit1 = "ACGGTTCAGGCATTGCAAGCTTGGC";
+        let unit2 = "ACGGTTCAGGCTTTGCAAGCTTGGC"; // A→T at offset 11
+        let g = genome(&format!("{unit1}TTATTATTAT{unit2}"));
+        let engine = MappingEngine::new(&g, cfg(8));
+        let read = SequencedRead::with_uniform_quality("r", genome(unit1), 30);
+        let mut alns = engine.map_read(&read);
+        alns.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+        assert_eq!(alns.len(), 2);
+        assert!(alns[0].weight > 0.9, "exact copy dominates: {}", alns[0].weight);
+        assert!(alns[1].weight > 0.0 && alns[1].weight < 0.1);
+        assert_eq!(alns[0].window_start, 0);
+    }
+
+    #[test]
+    fn unmappable_read_returns_empty() {
+        let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCA");
+        let engine = MappingEngine::new(&g, cfg(8));
+        let read =
+            SequencedRead::with_uniform_quality("r", genome("GGGGGGGGGGGGGGGGGGGG"), 35);
+        assert!(engine.map_read(&read).is_empty());
+    }
+
+    #[test]
+    fn weights_always_sum_to_one() {
+        let unit = "ACGGTTCAGGCATTGCAAGCTTGGC";
+        let g = genome(&format!("{unit}TT{unit}AATT{unit}GG"));
+        let engine = MappingEngine::new(&g, cfg(6));
+        let read = SequencedRead::with_uniform_quality("r", genome(unit), 25);
+        let alns = engine.map_read(&read);
+        assert!(alns.len() >= 3);
+        let sum: f64 = alns.iter().map(|a| a.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights sum to {sum}");
+    }
+
+    #[test]
+    fn banded_and_full_agree_on_clean_reads() {
+        let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCATGGACC");
+        let full = MappingEngine::new(
+            &g,
+            MappingConfig {
+                band: None,
+                ..cfg(8)
+            },
+        );
+        let banded = MappingEngine::new(&g, cfg(8));
+        let read = read_from(&g, 4, 36, 35);
+        let a = full.map_read(&read);
+        let b = banded.map_read(&read);
+        assert_eq!(a.len(), b.len());
+        assert!((a[0].weight - b[0].weight).abs() < 1e-9);
+        for (ca, cb) in a[0].columns.iter().zip(&b[0].columns) {
+            for k in 0..5 {
+                assert!(
+                    (ca.probs[k] - cb.probs[k]).abs() < 1e-6,
+                    "banded column posterior diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn column_mass_is_one_per_covered_position() {
+        let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCA");
+        let engine = MappingEngine::new(&g, cfg(8));
+        let read = read_from(&g, 6, 30, 30);
+        let alns = engine.map_read(&read);
+        for col in &alns[0].columns {
+            assert!((col.mass() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The serial end-to-end pipeline: index → map → accumulate → call.
+//!
+//! This is the reference implementation the parallel drivers must agree
+//! with; it is also what the per-rank workers of the read-split driver run
+//! internally.
+
+use crate::accum::{
+    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator,
+    NormAccumulator,
+};
+use crate::config::GnumapConfig;
+use crate::mapping::MappingEngine;
+use crate::report::RunReport;
+use crate::snpcall::call_snps;
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use std::time::Instant;
+
+/// Map `reads` with `engine` and deposit their weighted evidence into
+/// `acc`. Returns the number of reads that produced at least one
+/// alignment.
+pub fn accumulate_reads<A: GenomeAccumulator>(
+    engine: &MappingEngine<'_>,
+    reads: &[SequencedRead],
+    acc: &mut A,
+) -> usize {
+    let mut mapped = 0usize;
+    for read in reads {
+        let alignments = engine.map_read(read);
+        if !alignments.is_empty() {
+            mapped += 1;
+        }
+        for aln in alignments {
+            deposit(acc, aln.window_start, aln.weight, &aln.columns);
+        }
+    }
+    mapped
+}
+
+/// Deposit one alignment's weighted columns into an accumulator, skipping
+/// columns beyond the accumulator's end.
+pub fn deposit<A: GenomeAccumulator>(
+    acc: &mut A,
+    window_start: usize,
+    weight: f64,
+    columns: &[pairhmm::marginal::ColumnPosterior],
+) {
+    for (j, col) in columns.iter().enumerate() {
+        let pos = window_start + j;
+        if pos >= acc.len() {
+            break;
+        }
+        let mut delta = [0.0; 5];
+        for k in 0..5 {
+            delta[k] = col.probs[k] * weight;
+        }
+        acc.add(pos, &delta);
+    }
+}
+
+/// Run the whole pipeline serially with a specific accumulator type.
+pub fn run_serial_with<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+) -> RunReport {
+    let start = Instant::now();
+    let engine = MappingEngine::new(reference, config.mapping);
+    let mut acc = A::new(reference.len());
+    let mapped = accumulate_reads(&engine, reads, &mut acc);
+    let calls = call_snps(&acc, reference, &config.calling);
+    RunReport {
+        calls,
+        reads_processed: reads.len(),
+        reads_mapped: mapped,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        accumulator_bytes: acc.heap_bytes(),
+        traffic: None,
+        rank_cpu_secs: Vec::new(),
+    }
+}
+
+/// Run the whole pipeline serially, dispatching on the configured
+/// accumulator mode.
+pub fn run_pipeline(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+) -> RunReport {
+    match config.accumulator {
+        AccumulatorMode::Norm => run_serial_with::<NormAccumulator>(reference, reads, config),
+        AccumulatorMode::CharDisc => {
+            run_serial_with::<CharDiscAccumulator>(reference, reads, config)
+        }
+        AccumulatorMode::CentDisc => {
+            run_serial_with::<CentDiscAccumulator>(reference, reads, config)
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::accum::NormAccumulator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
+    use simulate::{
+        apply_snps_monoploid, generate_genome, generate_snp_catalog, ErrorProfile,
+        GenomeConfig, SnpCatalogConfig,
+    };
+
+    /// Small but realistic end-to-end fixture shared by driver tests.
+    pub(crate) fn fixture(
+        genome_len: usize,
+        snp_count: usize,
+        coverage: f64,
+        seed: u64,
+    ) -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let reference = generate_genome(
+            &GenomeConfig {
+                length: genome_len,
+                repeat_families: 1,
+                repeat_length: 120,
+                repeat_copies: 2,
+                repeat_divergence: 0.02,
+                ..GenomeConfig::default()
+            },
+            &mut rng,
+        );
+        let snps = generate_snp_catalog(
+            &reference,
+            &SnpCatalogConfig {
+                count: snp_count,
+                ..SnpCatalogConfig::default()
+            },
+            &mut rng,
+        );
+        let individual = apply_snps_monoploid(&reference, &snps);
+        let sim = simulate_reads(
+            &ReadSource::Monoploid(&individual),
+            ReadSimConfig {
+                coverage,
+                ..ReadSimConfig::default()
+            }
+            .read_count(genome_len),
+            &ReadSimConfig {
+                coverage,
+                profile: ErrorProfile::default(),
+                ..ReadSimConfig::default()
+            },
+            &mut rng,
+        );
+        let truth: Vec<_> = snps.iter().map(|s| (s.pos, s.alt)).collect();
+        let reads: Vec<_> = sim.into_iter().map(|r| r.read).collect();
+        (reference, truth, reads)
+    }
+
+    #[test]
+    fn end_to_end_finds_planted_snps() {
+        let (reference, truth, reads) = fixture(6_000, 8, 14.0, 2024);
+        let report = run_pipeline(&reference, &reads, &GnumapConfig::default());
+        assert!(report.reads_mapped as f64 > reads.len() as f64 * 0.95);
+
+        let accuracy = crate::report::score_snp_calls(&report.calls, &truth);
+        assert!(
+            accuracy.true_positives >= 7,
+            "expected ≥7/8 planted SNPs, got {accuracy:?}"
+        );
+        assert!(
+            accuracy.false_positives <= 1,
+            "too many false positives: {accuracy:?}"
+        );
+        assert!(report.seqs_per_sec() > 0.0);
+        assert_eq!(report.accumulator_bytes, 6_000 * 20);
+    }
+
+    #[test]
+    fn no_snps_means_no_calls() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let reference = generate_genome(
+            &GenomeConfig {
+                length: 4_000,
+                repeat_families: 0,
+                ..GenomeConfig::default()
+            },
+            &mut rng,
+        );
+        let sim = simulate_reads(
+            &ReadSource::Monoploid(&reference),
+            800,
+            &ReadSimConfig::default(),
+            &mut rng,
+        );
+        let reads: Vec<_> = sim.into_iter().map(|r| r.read).collect();
+        let report = run_pipeline(&reference, &reads, &GnumapConfig::default());
+        assert!(
+            report.calls.len() <= 2,
+            "α=0.05 on a clean genome should produce almost nothing: {}",
+            report.calls.len()
+        );
+    }
+
+    #[test]
+    fn deposit_clips_at_accumulator_end() {
+        let mut acc = NormAccumulator::new(3);
+        let cols = vec![
+            pairhmm::marginal::ColumnPosterior {
+                probs: [1.0, 0.0, 0.0, 0.0, 0.0]
+            };
+            5
+        ];
+        deposit(&mut acc, 1, 1.0, &cols);
+        assert_eq!(acc.counts(1)[0], 1.0);
+        assert_eq!(acc.counts(2)[0], 1.0);
+        // Columns 3 and 4 fell off the end without panicking.
+    }
+
+    #[test]
+    fn chardisc_mode_is_close_to_norm_at_moderate_coverage() {
+        let (reference, truth, reads) = fixture(5_000, 6, 12.0, 11);
+        let norm = run_pipeline(&reference, &reads, &GnumapConfig::default());
+        let chard = run_pipeline(
+            &reference,
+            &reads,
+            &GnumapConfig {
+                accumulator: crate::accum::AccumulatorMode::CharDisc,
+                ..GnumapConfig::default()
+            },
+        );
+        let a_norm = crate::report::score_snp_calls(&norm.calls, &truth);
+        let a_chard = crate::report::score_snp_calls(&chard.calls, &truth);
+        // Paper Table III: CHARDISC keeps precision but may lose some TPs.
+        assert!(a_chard.true_positives >= a_norm.true_positives.saturating_sub(2));
+        assert!(a_chard.false_positives <= a_norm.false_positives + 1);
+        assert!(chard.accumulator_bytes < norm.accumulator_bytes);
+    }
+}

@@ -1,0 +1,259 @@
+//! The DNA alphabet used throughout GNUMAP-SNP.
+//!
+//! The paper tracks five symbols per genome position — A, C, G, T and gap —
+//! in its accumulator vectors, and reads may additionally contain `N`
+//! (unknown) calls. `Base` models the four concrete nucleotides; `N` is
+//! handled at the sequence layer as `Option<Base>` so the type system makes
+//! "this position is unknown" explicit.
+
+use std::fmt;
+
+/// A concrete DNA nucleotide.
+///
+/// The discriminants (A=0, C=1, G=2, T=3) are stable and used directly as
+/// indices into emission matrices, accumulator vectors and 2-bit packed
+/// sequence words, so they must not be reordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Base {
+    A = 0,
+    C = 1,
+    G = 2,
+    T = 3,
+}
+
+/// All four bases in index order. Handy for iteration in emission loops.
+pub const BASES: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+/// Number of symbols tracked per genome position in the paper's
+/// accumulators: A, C, G, T and gap.
+pub const NUM_SYMBOLS: usize = 5;
+
+/// Index of the gap symbol inside a 5-vector of per-position counts.
+pub const GAP_INDEX: usize = 4;
+
+impl Base {
+    /// Stable index in `[0, 4)`; matches the discriminant.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Base::index`]. Panics if `idx >= 4`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Base {
+        BASES[idx]
+    }
+
+    /// Lossless 2-bit code used by [`crate::packed::PackedSeq`] and
+    /// [`crate::kmer::Kmer`].
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Base::code`] for the low two bits of `code`.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        BASES[(code & 0b11) as usize]
+    }
+
+    /// Watson–Crick complement.
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// Whether this base is a purine (A or G).
+    #[inline]
+    pub fn is_purine(self) -> bool {
+        matches!(self, Base::A | Base::G)
+    }
+
+    /// Whether this base is a pyrimidine (C or T).
+    #[inline]
+    pub fn is_pyrimidine(self) -> bool {
+        !self.is_purine()
+    }
+
+    /// The unique base reachable from `self` by a *transition* mutation
+    /// (purine↔purine or pyrimidine↔pyrimidine). Transitions are roughly
+    /// twice as common as transversions in real SNP catalogues, a fact the
+    /// simulator and the centroid codebook both exploit.
+    #[inline]
+    pub fn transition(self) -> Base {
+        match self {
+            Base::A => Base::G,
+            Base::G => Base::A,
+            Base::C => Base::T,
+            Base::T => Base::C,
+        }
+    }
+
+    /// The two bases reachable from `self` by a *transversion* mutation.
+    #[inline]
+    pub fn transversions(self) -> [Base; 2] {
+        match self {
+            Base::A | Base::G => [Base::C, Base::T],
+            Base::C | Base::T => [Base::A, Base::G],
+        }
+    }
+
+    /// Parse an ASCII nucleotide character (case-insensitive).
+    /// Returns `None` for `N`/`n` and `Err`-like `None` for anything else;
+    /// use [`Base::try_from_ascii`] to distinguish the two.
+    #[inline]
+    pub fn from_ascii(c: u8) -> Option<Base> {
+        match c {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Parse an ASCII nucleotide distinguishing `N` (unknown but legal)
+    /// from genuinely invalid characters.
+    pub fn try_from_ascii(c: u8) -> Result<Option<Base>, u8> {
+        match c {
+            b'N' | b'n' => Ok(None),
+            other => Base::from_ascii(other).map(Some).ok_or(other),
+        }
+    }
+
+    /// Upper-case ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// As a `char`, for display purposes.
+    #[inline]
+    pub fn to_char(self) -> char {
+        self.to_ascii() as char
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Classification of a single-nucleotide substitution, used by the SNP
+/// simulator and by accuracy reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substitution {
+    /// Purine↔purine or pyrimidine↔pyrimidine.
+    Transition,
+    /// Purine↔pyrimidine.
+    Transversion,
+}
+
+/// Classify the substitution `from → to`. Returns `None` when the bases are
+/// equal (not a substitution at all).
+pub fn classify_substitution(from: Base, to: Base) -> Option<Substitution> {
+    if from == to {
+        None
+    } else if from.is_purine() == to.is_purine() {
+        Some(Substitution::Transition)
+    } else {
+        Some(Substitution::Transversion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for b in BASES {
+            assert_eq!(Base::from_index(b.index()), b);
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in BASES {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    fn purine_pyrimidine_partition() {
+        let purines: Vec<_> = BASES.iter().filter(|b| b.is_purine()).collect();
+        assert_eq!(purines, [&Base::A, &Base::G]);
+        for b in BASES {
+            assert_ne!(b.is_purine(), b.is_pyrimidine());
+        }
+    }
+
+    #[test]
+    fn transition_is_involution_and_preserves_class() {
+        for b in BASES {
+            assert_eq!(b.transition().transition(), b);
+            assert_eq!(b.is_purine(), b.transition().is_purine());
+            assert_ne!(b.transition(), b);
+        }
+    }
+
+    #[test]
+    fn transversions_cross_class() {
+        for b in BASES {
+            for t in b.transversions() {
+                assert_ne!(b.is_purine(), t.is_purine());
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_round_trip_both_cases() {
+        for b in BASES {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+    }
+
+    #[test]
+    fn n_is_legal_but_unknown() {
+        assert_eq!(Base::try_from_ascii(b'N'), Ok(None));
+        assert_eq!(Base::try_from_ascii(b'n'), Ok(None));
+        assert_eq!(Base::try_from_ascii(b'x'), Err(b'x'));
+        assert_eq!(Base::try_from_ascii(b'A'), Ok(Some(Base::A)));
+    }
+
+    #[test]
+    fn substitution_classes() {
+        use Substitution::*;
+        assert_eq!(classify_substitution(Base::A, Base::G), Some(Transition));
+        assert_eq!(classify_substitution(Base::C, Base::T), Some(Transition));
+        assert_eq!(classify_substitution(Base::A, Base::C), Some(Transversion));
+        assert_eq!(classify_substitution(Base::G, Base::T), Some(Transversion));
+        assert_eq!(classify_substitution(Base::A, Base::A), None);
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        assert_eq!(Base::G.to_string(), "G");
+    }
+}

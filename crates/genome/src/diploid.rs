@@ -1,0 +1,152 @@
+//! Diploid individuals: two haplotypes over the same coordinate system.
+//!
+//! The paper's diploid LRT (Equation 2) distinguishes homozygous sites (both
+//! alleles differ identically from the reference) from heterozygous sites
+//! (the two haplotypes disagree). The simulator produces these individuals;
+//! the read sampler draws each fragment from one haplotype uniformly.
+
+use crate::alphabet::Base;
+use crate::seq::DnaSeq;
+
+/// Two same-length haplotypes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiploidGenome {
+    pub maternal: DnaSeq,
+    pub paternal: DnaSeq,
+}
+
+/// The genotype of a diploid individual at one site, relative to a
+/// reference base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Genotype {
+    /// Both haplotypes equal the reference.
+    HomRef,
+    /// Both haplotypes carry the same non-reference allele.
+    HomAlt(Base),
+    /// The haplotypes disagree; fields are (maternal, paternal).
+    Het(Base, Base),
+}
+
+impl DiploidGenome {
+    /// Construct; panics when the haplotypes differ in length.
+    pub fn new(maternal: DnaSeq, paternal: DnaSeq) -> DiploidGenome {
+        assert_eq!(
+            maternal.len(),
+            paternal.len(),
+            "haplotypes must be equal length"
+        );
+        DiploidGenome { maternal, paternal }
+    }
+
+    /// A fully homozygous-reference individual.
+    pub fn homozygous(reference: DnaSeq) -> DiploidGenome {
+        DiploidGenome {
+            paternal: reference.clone(),
+            maternal: reference,
+        }
+    }
+
+    /// Shared coordinate length.
+    pub fn len(&self) -> usize {
+        self.maternal.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.maternal.is_empty()
+    }
+
+    /// Haplotype selector: 0 = maternal, 1 = paternal.
+    pub fn haplotype(&self, which: usize) -> &DnaSeq {
+        match which {
+            0 => &self.maternal,
+            1 => &self.paternal,
+            other => panic!("haplotype index {other} out of range (0 or 1)"),
+        }
+    }
+
+    /// Classify the genotype at `pos` against a reference base. Sites where
+    /// either haplotype is `N` are treated as matching the reference (no
+    /// call possible), consistent with how truth sets exclude no-call sites.
+    pub fn genotype_at(&self, pos: usize, reference: Base) -> Genotype {
+        match (self.maternal.get(pos), self.paternal.get(pos)) {
+            (Some(m), Some(p)) => {
+                if m == reference && p == reference {
+                    Genotype::HomRef
+                } else if m == p {
+                    Genotype::HomAlt(m)
+                } else {
+                    Genotype::Het(m, p)
+                }
+            }
+            _ => Genotype::HomRef,
+        }
+    }
+
+    /// All positions whose genotype differs from the reference sequence.
+    pub fn variant_positions(&self, reference: &DnaSeq) -> Vec<(usize, Genotype)> {
+        assert_eq!(self.len(), reference.len());
+        (0..self.len())
+            .filter_map(|pos| {
+                let r = reference.get(pos)?;
+                match self.genotype_at(pos, r) {
+                    Genotype::HomRef => None,
+                    g => Some((pos, g)),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn genotype_classification() {
+        let d = DiploidGenome::new(seq("ACGT"), seq("AGGA"));
+        assert_eq!(d.genotype_at(0, Base::A), Genotype::HomRef);
+        assert_eq!(d.genotype_at(1, Base::C), Genotype::Het(Base::C, Base::G));
+        assert_eq!(d.genotype_at(2, Base::G), Genotype::HomRef);
+        assert_eq!(d.genotype_at(3, Base::C), Genotype::Het(Base::T, Base::A));
+        let hom = DiploidGenome::new(seq("AAAA"), seq("AAAA"));
+        assert_eq!(hom.genotype_at(2, Base::G), Genotype::HomAlt(Base::A));
+    }
+
+    #[test]
+    fn n_sites_are_homref() {
+        let d = DiploidGenome::new(seq("NA"), seq("AA"));
+        assert_eq!(d.genotype_at(0, Base::G), Genotype::HomRef);
+    }
+
+    #[test]
+    fn variant_positions_against_reference() {
+        let reference = seq("AAAA");
+        let d = DiploidGenome::new(seq("ACAA"), seq("ACGA"));
+        let vars = d.variant_positions(&reference);
+        assert_eq!(
+            vars,
+            vec![
+                (1, Genotype::HomAlt(Base::C)),
+                (2, Genotype::Het(Base::A, Base::G)),
+            ]
+        );
+    }
+
+    #[test]
+    fn homozygous_constructor_duplicates() {
+        let d = DiploidGenome::homozygous(seq("ACGT"));
+        assert_eq!(d.maternal, d.paternal);
+        assert_eq!(d.haplotype(0), d.haplotype(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unequal_haplotypes_panic() {
+        let _ = DiploidGenome::new(seq("AC"), seq("ACG"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal, strict FASTA reading and writing.
+//!
+//! The evaluation pipeline writes simulated references to disk and reads
+//! them back, mirroring the paper's use of the UCSC chrX FASTA. Parsing is
+//! line-based and validates characters, reporting 1-based line numbers on
+//! error.
+
+use crate::error::GenomeError;
+use crate::seq::DnaSeq;
+use std::io::{BufRead, Write};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastaRecord {
+    /// Header text after `>` (whole line, untrimmed of internal spaces).
+    pub id: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+/// Parse every record from a FASTA stream.
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, GenomeError> {
+    let mut records = Vec::new();
+    let mut current: Option<(String, DnaSeq)> = None;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((id, seq)) = current.take() {
+                records.push(FastaRecord { id, seq });
+            }
+            current = Some((header.trim().to_string(), DnaSeq::new()));
+        } else {
+            let (_, seq) = current.as_mut().ok_or_else(|| GenomeError::Malformed {
+                line: lineno,
+                reason: "sequence data before any '>' header".into(),
+            })?;
+            for &c in line.as_bytes() {
+                match crate::alphabet::Base::try_from_ascii(c) {
+                    Ok(b) => seq.push(b),
+                    Err(found) => {
+                        return Err(GenomeError::InvalidCharacter {
+                            line: lineno,
+                            found: found as char,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if let Some((id, seq)) = current.take() {
+        records.push(FastaRecord { id, seq });
+    }
+    Ok(records)
+}
+
+/// Write records in FASTA format with lines wrapped at `width` bases.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    records: &[FastaRecord],
+    width: usize,
+) -> Result<(), GenomeError> {
+    let width = width.max(1);
+    for rec in records {
+        writeln!(writer, ">{}", rec.id)?;
+        let ascii = rec.seq.to_ascii();
+        for chunk in ascii.chunks(width) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_two_records() {
+        let text = ">chr1 test\nACGT\nACGT\n>chr2\nNNGT\n";
+        let recs = read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "chr1 test");
+        assert_eq!(recs[0].seq.to_string(), "ACGTACGT");
+        assert_eq!(recs[1].seq.to_string(), "NNGT");
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let recs = vec![
+            FastaRecord {
+                id: "a".into(),
+                seq: "ACGTNACGTACGTACGT".parse().unwrap(),
+            },
+            FastaRecord {
+                id: "b".into(),
+                seq: "GG".parse().unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs, 7).unwrap();
+        let back = read_fasta(Cursor::new(buf)).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn rejects_data_before_header() {
+        let err = read_fasta(Cursor::new("ACGT\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_character_with_line_number() {
+        let err = read_fasta(Cursor::new(">x\nACGT\nAXGT\n")).unwrap_err();
+        assert!(matches!(
+            err,
+            GenomeError::InvalidCharacter { line: 3, found: 'X' }
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let recs = read_fasta(Cursor::new(">x\n\nAC\n\nGT\n")).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_fasta(Cursor::new("")).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Strict four-line FASTQ reading and writing (Sanger quality encoding).
+
+use crate::error::GenomeError;
+use crate::quality::{phred_to_symbol, symbol_to_phred};
+use crate::read::SequencedRead;
+use crate::seq::DnaSeq;
+use std::io::{BufRead, Write};
+
+/// Parse every record from a FASTQ stream. Records must be exactly four
+/// lines: `@id`, sequence, `+`, quality.
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<SequencedRead>, GenomeError> {
+    let mut reads = Vec::new();
+    let mut lines = reader.lines().enumerate();
+
+    while let Some((lineno, header)) = lines.next() {
+        let header = header?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| GenomeError::Malformed {
+                line: lineno,
+                reason: format!("expected '@' header, found {header:?}"),
+            })?
+            .to_string();
+
+        let mut next_line = |what: &str| -> Result<(usize, String), GenomeError> {
+            match lines.next() {
+                Some((n, l)) => Ok((n + 1, l?.trim_end().to_string())),
+                None => Err(GenomeError::Malformed {
+                    line: lineno,
+                    reason: format!("record {id:?} truncated before {what}"),
+                }),
+            }
+        };
+
+        let (seq_line_no, seq_text) = next_line("sequence")?;
+        let (plus_line_no, plus) = next_line("'+' separator")?;
+        if !plus.starts_with('+') {
+            return Err(GenomeError::Malformed {
+                line: plus_line_no,
+                reason: format!("expected '+' separator, found {plus:?}"),
+            });
+        }
+        let (qual_line_no, qual_text) = next_line("quality")?;
+
+        let seq = DnaSeq::from_ascii(seq_text.as_bytes()).map_err(|e| match e {
+            GenomeError::InvalidCharacter { found, .. } => GenomeError::InvalidCharacter {
+                line: seq_line_no,
+                found,
+            },
+            other => other,
+        })?;
+        let mut quals = Vec::with_capacity(qual_text.len());
+        for &c in qual_text.as_bytes() {
+            quals.push(symbol_to_phred(c).ok_or(GenomeError::InvalidCharacter {
+                line: qual_line_no,
+                found: c as char,
+            })?);
+        }
+        reads.push(SequencedRead::new(id, seq, quals)?);
+    }
+    Ok(reads)
+}
+
+/// Write reads as four-line FASTQ records.
+pub fn write_fastq<W: Write>(mut writer: W, reads: &[SequencedRead]) -> Result<(), GenomeError> {
+    for r in reads {
+        writeln!(writer, "@{}", r.id)?;
+        writer.write_all(&r.seq.to_ascii())?;
+        writeln!(writer)?;
+        writeln!(writer, "+")?;
+        let quals: Vec<u8> = r.quals.iter().map(|&q| phred_to_symbol(q)).collect();
+        writer.write_all(&quals)?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_basic_record() {
+        let text = "@r1\nACGT\n+\nIIII\n";
+        let reads = read_fastq(Cursor::new(text)).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].id, "r1");
+        assert_eq!(reads[0].seq.to_string(), "ACGT");
+        assert_eq!(reads[0].quals, vec![40; 4]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let reads = vec![
+            SequencedRead::new("a/1", "ACGTN".parse().unwrap(), vec![2, 20, 40, 0, 33]).unwrap(),
+            SequencedRead::new("b/1", "TT".parse().unwrap(), vec![17, 5]).unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &reads).unwrap();
+        assert_eq!(read_fastq(Cursor::new(buf)).unwrap(), reads);
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let err = read_fastq(Cursor::new("@r1\nACGT\n+\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::Malformed { .. }));
+    }
+
+    #[test]
+    fn missing_at_rejected() {
+        let err = read_fastq(Cursor::new("r1\nACGT\n+\nIIII\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn quality_length_mismatch_rejected() {
+        let err = read_fastq(Cursor::new("@r1\nACGT\n+\nIII\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::QualityLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_quality_symbol_rejected() {
+        // \x01 is below the Sanger offset and not trimmable whitespace.
+        let err = read_fastq(Cursor::new("@r1\nAC\n+\nI\x01\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::InvalidCharacter { line: 4, .. }));
+    }
+}

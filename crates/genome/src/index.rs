@@ -1,0 +1,236 @@
+//! The genomic k-mer hash index (paper Section V, step 1).
+//!
+//! GNUMAP's first stage builds a hash table from every k-mer of the
+//! reference to the genome positions where it occurs; read k-mers are then
+//! looked up to find candidate mapping regions. Two practical details from
+//! real mappers are modelled:
+//!
+//! * **Repeat masking by occurrence cutoff** — k-mers occurring more than
+//!   `max_occurrences` times are dropped from the index (their hit lists
+//!   would be enormous and nearly uninformative). This mirrors GNUMAP's
+//!   handling of highly repetitive seeds and bounds worst-case query cost.
+//! * **Sampling stride** — for memory accounting we optionally index only
+//!   every `stride`-th genome position.
+//!
+//! The index is position-addressed (not canonicalised): strand handling is
+//! done by the caller, which queries with both the read and its reverse
+//! complement, as GNUMAP does.
+
+use crate::error::GenomeError;
+use crate::kmer::KmerIter;
+use crate::seq::DnaSeq;
+use std::collections::HashMap;
+
+/// Configuration for building a [`KmerIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Seed length; the paper's default is 10.
+    pub k: usize,
+    /// k-mers with more than this many genomic occurrences are dropped.
+    pub max_occurrences: usize,
+    /// Index every `stride`-th position (1 = every position).
+    pub stride: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            k: 10,
+            max_occurrences: 1024,
+            stride: 1,
+        }
+    }
+}
+
+/// Hash index from packed k-mer to the sorted genome positions where it
+/// starts.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    config: IndexConfig,
+    genome_len: usize,
+    map: HashMap<u64, Vec<u32>>,
+    /// Number of distinct k-mers dropped by the occurrence cutoff.
+    masked_kmers: usize,
+}
+
+impl KmerIndex {
+    /// Build the index over a reference sequence.
+    pub fn build(genome: &DnaSeq, config: IndexConfig) -> Result<KmerIndex, GenomeError> {
+        assert!(config.stride >= 1, "stride must be at least 1");
+        assert!(config.max_occurrences >= 1, "max_occurrences must be at least 1");
+        assert!(
+            genome.len() <= u32::MAX as usize,
+            "positions are stored as u32"
+        );
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (pos, kmer) in KmerIter::new(genome, config.k)? {
+            if pos % config.stride != 0 {
+                continue;
+            }
+            map.entry(kmer.packed()).or_default().push(pos as u32);
+        }
+        let before = map.len();
+        map.retain(|_, v| v.len() <= config.max_occurrences);
+        let masked_kmers = before - map.len();
+        Ok(KmerIndex {
+            config,
+            genome_len: genome.len(),
+            map,
+            masked_kmers,
+        })
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// Length of the indexed genome.
+    pub fn genome_len(&self) -> usize {
+        self.genome_len
+    }
+
+    /// Genome start positions of a packed k-mer (empty for unknown or
+    /// masked k-mers). Positions are in increasing order.
+    pub fn lookup(&self, packed_kmer: u64) -> &[u32] {
+        self.map.get(&packed_kmer).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct k-mers retained.
+    pub fn distinct_kmers(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of distinct k-mers dropped by the repeat cutoff.
+    pub fn masked_kmers(&self) -> usize {
+        self.masked_kmers
+    }
+
+    /// Total number of stored positions.
+    pub fn total_positions(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Approximate heap footprint in bytes: hash-table entries plus the
+    /// position vectors. Feeds the Table II memory model.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // HashMap stores (K, V) pairs plus ~1 byte/bucket of control metadata
+        // at <= 7/8 load factor; approximate with capacity * (entry + 1).
+        let entry = size_of::<u64>() + size_of::<Vec<u32>>() + 1;
+        let table = self.map.capacity() * entry;
+        let positions: usize = self
+            .map
+            .values()
+            .map(|v| v.capacity() * size_of::<u32>())
+            .sum();
+        table + positions
+    }
+
+    /// For each k-mer of `query`, look up its genomic hit list and emit
+    /// `(query_offset, genome_position)` pairs. The caller converts these
+    /// into candidate alignment windows by diagonal (genome_position -
+    /// query_offset).
+    pub fn seed_hits<'a>(
+        &'a self,
+        query: &'a DnaSeq,
+    ) -> impl Iterator<Item = (usize, u32)> + 'a {
+        KmerIter::new(query, self.config.k)
+            .into_iter()
+            .flatten()
+            .flat_map(move |(qoff, kmer)| {
+                self.lookup(kmer.packed())
+                    .iter()
+                    .map(move |&gpos| (qoff, gpos))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::Kmer;
+    use crate::alphabet::Base;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn packed(s: &str) -> u64 {
+        let bases: Vec<Base> = s.bytes().map(|c| Base::from_ascii(c).unwrap()).collect();
+        Kmer::from_bases(&bases).unwrap().packed()
+    }
+
+    fn cfg(k: usize) -> IndexConfig {
+        IndexConfig {
+            k,
+            ..IndexConfig::default()
+        }
+    }
+
+    #[test]
+    fn positions_are_recorded_in_order() {
+        let idx = KmerIndex::build(&seq("ACGACGACG"), cfg(3)).unwrap();
+        assert_eq!(idx.lookup(packed("ACG")), &[0, 3, 6]);
+        assert_eq!(idx.lookup(packed("CGA")), &[1, 4]);
+        assert_eq!(idx.lookup(packed("TTT")), &[] as &[u32]);
+    }
+
+    #[test]
+    fn repeat_cutoff_masks_hot_kmers() {
+        let idx = KmerIndex::build(
+            &seq("AAAAAAAAAA"),
+            IndexConfig {
+                k: 3,
+                max_occurrences: 4,
+                stride: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(idx.lookup(packed("AAA")), &[] as &[u32]);
+        assert_eq!(idx.masked_kmers(), 1);
+        assert_eq!(idx.distinct_kmers(), 0);
+    }
+
+    #[test]
+    fn stride_subsamples_positions() {
+        let idx = KmerIndex::build(
+            &seq("ACGACGACG"),
+            IndexConfig {
+                k: 3,
+                max_occurrences: 100,
+                stride: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(idx.lookup(packed("ACG")), &[0, 3, 6]);
+        assert_eq!(idx.lookup(packed("CGA")), &[] as &[u32]);
+    }
+
+    #[test]
+    fn seed_hits_pair_offsets_with_positions() {
+        let idx = KmerIndex::build(&seq("ACGTACGT"), cfg(4)).unwrap();
+        let hits: Vec<(usize, u32)> = idx.seed_hits(&seq("TACG")).collect();
+        assert_eq!(hits, vec![(0, 3)]);
+        let hits: Vec<(usize, u32)> = idx.seed_hits(&seq("ACGTA")).collect();
+        // ACGT at genome 0 and 4 (query offset 0), CGTA at genome 1 (offset 1).
+        assert_eq!(hits, vec![(0, 0), (0, 4), (1, 1)]);
+    }
+
+    #[test]
+    fn counting_statistics() {
+        let idx = KmerIndex::build(&seq("ACGTACGT"), cfg(4)).unwrap();
+        assert_eq!(idx.distinct_kmers(), 4); // ACGT, CGTA, GTAC, TACG
+        assert_eq!(idx.total_positions(), 5);
+        assert!(idx.heap_bytes() > 0);
+        assert_eq!(idx.genome_len(), 8);
+    }
+
+    #[test]
+    fn ns_never_enter_the_index() {
+        let idx = KmerIndex::build(&seq("ACNGT"), cfg(2)).unwrap();
+        assert_eq!(idx.lookup(packed("AC")), &[0]);
+        assert_eq!(idx.lookup(packed("GT")), &[3]);
+        assert_eq!(idx.distinct_kmers(), 2);
+    }
+}

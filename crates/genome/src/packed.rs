@@ -1,0 +1,182 @@
+//! 2-bit packed genome storage.
+//!
+//! The paper stresses memory pressure: the genome itself, the k-mer hash
+//! table and the per-base accumulator all have to fit in RAM, and Section
+//! VI-B is entirely about shrinking the per-base cost. `PackedSeq` stores
+//! four bases per byte plus a bitmask for `N` positions, so a 3.1 Gbp genome
+//! costs ~0.97 GB instead of ~3.1 GB — matching how GNUMAP itself keeps the
+//! reference resident while mapping.
+
+use crate::alphabet::Base;
+use crate::seq::DnaSeq;
+
+/// A DNA sequence packed at 2 bits/base with an `N` side-mask.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedSeq {
+    /// 2-bit codes, 4 per byte, little-endian within the byte
+    /// (position i occupies bits `2*(i%4) .. 2*(i%4)+2` of `words[i/4]`).
+    words: Vec<u8>,
+    /// One bit per base; set = the position is `N`.
+    n_mask: Vec<u8>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Empty packed sequence.
+    pub fn new() -> Self {
+        PackedSeq::default()
+    }
+
+    /// Pack an unpacked sequence.
+    pub fn from_dna(seq: &DnaSeq) -> Self {
+        let mut p = PackedSeq {
+            words: vec![0; seq.len().div_ceil(4)],
+            n_mask: vec![0; seq.len().div_ceil(8)],
+            len: seq.len(),
+        };
+        for (i, b) in seq.iter().enumerate() {
+            p.write(i, b);
+        }
+        p
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes used by the packed representation (words + N mask). This
+    /// feeds the memory-footprint accounting for Table II.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() + self.n_mask.capacity()
+    }
+
+    #[inline]
+    fn write(&mut self, pos: usize, base: Option<Base>) {
+        let (w, shift) = (pos / 4, 2 * (pos % 4));
+        match base {
+            Some(b) => {
+                self.words[w] = (self.words[w] & !(0b11 << shift)) | (b.code() << shift);
+                self.n_mask[pos / 8] &= !(1 << (pos % 8));
+            }
+            None => {
+                // Leave word bits zero (A) but set the N flag; readers must
+                // consult the flag first.
+                self.words[w] &= !(0b11 << shift);
+                self.n_mask[pos / 8] |= 1 << (pos % 8);
+            }
+        }
+    }
+
+    /// Append a base.
+    pub fn push(&mut self, base: Option<Base>) {
+        let pos = self.len;
+        if pos / 4 >= self.words.len() {
+            self.words.push(0);
+        }
+        if pos / 8 >= self.n_mask.len() {
+            self.n_mask.push(0);
+        }
+        self.len += 1;
+        self.write(pos, base);
+    }
+
+    /// The base at `pos` (`None` = `N`). Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, pos: usize) -> Option<Base> {
+        assert!(pos < self.len, "position {pos} out of bounds ({})", self.len);
+        if self.n_mask[pos / 8] & (1 << (pos % 8)) != 0 {
+            None
+        } else {
+            Some(Base::from_code(self.words[pos / 4] >> (2 * (pos % 4))))
+        }
+    }
+
+    /// Iterate all positions in order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<Base>> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Unpack the window `[start, end)` (clamped) into a `DnaSeq`.
+    pub fn window(&self, start: usize, end: usize) -> DnaSeq {
+        let end = end.min(self.len);
+        let start = start.min(end);
+        (start..end).map(|i| self.get(i)).collect()
+    }
+
+    /// Unpack the whole sequence.
+    pub fn to_dna(&self) -> DnaSeq {
+        self.window(0, self.len)
+    }
+}
+
+impl From<&DnaSeq> for PackedSeq {
+    fn from(seq: &DnaSeq) -> Self {
+        PackedSeq::from_dna(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_ns() {
+        let s = seq("ACGTNNACGTACGTN");
+        let p = PackedSeq::from_dna(&s);
+        assert_eq!(p.len(), s.len());
+        assert_eq!(p.to_dna(), s);
+    }
+
+    #[test]
+    fn push_matches_bulk_pack() {
+        let s = seq("TTGCANGGCAT");
+        let mut p = PackedSeq::new();
+        for b in s.iter() {
+            p.push(b);
+        }
+        assert_eq!(p, PackedSeq::from_dna(&s));
+    }
+
+    #[test]
+    fn window_unpacks_correctly() {
+        let s = seq("ACGTACGTNNGT");
+        let p = PackedSeq::from_dna(&s);
+        assert_eq!(p.window(3, 11).to_string(), "TACGTNNG");
+        assert_eq!(p.window(10, 99).to_string(), "GT");
+    }
+
+    #[test]
+    fn packing_is_actually_compact() {
+        let s = DnaSeq::from_bases(std::iter::repeat_n(Base::G, 10_000));
+        let p = PackedSeq::from_dna(&s);
+        // 2 bits/base + 1 bit/base for the N mask = well under 1 byte/base.
+        assert!(p.heap_bytes() < 10_000 / 2);
+    }
+
+    #[test]
+    fn n_write_then_overwrite() {
+        let s = seq("AAAA");
+        let mut p = PackedSeq::from_dna(&s);
+        p.write(1, None);
+        assert_eq!(p.get(1), None);
+        p.write(1, Some(Base::T));
+        assert_eq!(p.get(1), Some(Base::T));
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_bounds_panics() {
+        let p = PackedSeq::from_dna(&seq("ACG"));
+        let _ = p.get(3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Phred quality scores.
+//!
+//! The paper's central extension of the Pair-HMM is that emissions consume
+//! *quality-weighted* base probabilities (`r_ik` in Section VI, Step 2).
+//! Those weights derive from Phred scores: `Q = -10·log10(p_error)`, encoded
+//! in FASTQ as `Q + 33` ASCII ("Sanger" offset).
+
+/// Sanger FASTQ quality offset.
+pub const PHRED_OFFSET: u8 = 33;
+
+/// Maximum Phred score we encode (ASCII `~` = Q93).
+pub const MAX_PHRED: u8 = 93;
+
+/// Convert a Phred score to the probability the base call is *wrong*.
+#[inline]
+pub fn phred_to_error_prob(q: u8) -> f64 {
+    10f64.powf(-(q as f64) / 10.0)
+}
+
+/// Convert an error probability to the (rounded, clamped) Phred score.
+#[inline]
+pub fn error_prob_to_phred(p: f64) -> u8 {
+    if p <= 0.0 {
+        return MAX_PHRED;
+    }
+    let q = -10.0 * p.log10();
+    q.round().clamp(0.0, MAX_PHRED as f64) as u8
+}
+
+/// FASTQ ASCII symbol for a Phred score.
+#[inline]
+pub fn phred_to_symbol(q: u8) -> u8 {
+    q.min(MAX_PHRED) + PHRED_OFFSET
+}
+
+/// Phred score from a FASTQ ASCII symbol. Returns `None` for symbols below
+/// the Sanger offset (which cannot appear in well-formed FASTQ).
+#[inline]
+pub fn symbol_to_phred(c: u8) -> Option<u8> {
+    c.checked_sub(PHRED_OFFSET)
+}
+
+/// The per-base probability vector `r_i = (r_iA, r_iC, r_iG, r_iT)` used to
+/// build a read's position-weight matrix: the called base receives
+/// `1 - p_err`, the other three split `p_err` evenly. An `N` call (no base)
+/// is maximally uncertain: `0.25` each.
+#[inline]
+pub fn base_probs(called: Option<crate::alphabet::Base>, q: u8) -> [f64; 4] {
+    match called {
+        None => [0.25; 4],
+        Some(b) => {
+            let p_err = phred_to_error_prob(q);
+            let mut r = [p_err / 3.0; 4];
+            r[b.index()] = 1.0 - p_err;
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Base;
+
+    #[test]
+    fn phred_round_trip() {
+        for q in 0..=MAX_PHRED {
+            assert_eq!(error_prob_to_phred(phred_to_error_prob(q)), q);
+            assert_eq!(symbol_to_phred(phred_to_symbol(q)), Some(q));
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((phred_to_error_prob(10) - 0.1).abs() < 1e-12);
+        assert!((phred_to_error_prob(20) - 0.01).abs() < 1e-12);
+        assert!((phred_to_error_prob(30) - 0.001).abs() < 1e-12);
+        assert_eq!(phred_to_symbol(0), b'!');
+        assert_eq!(phred_to_symbol(40), b'I');
+    }
+
+    #[test]
+    fn zero_error_saturates() {
+        assert_eq!(error_prob_to_phred(0.0), MAX_PHRED);
+        assert_eq!(error_prob_to_phred(1.0), 0);
+    }
+
+    #[test]
+    fn bad_symbol_rejected() {
+        assert_eq!(symbol_to_phred(b' '), None);
+        assert_eq!(symbol_to_phred(b'!'), Some(0));
+    }
+
+    #[test]
+    fn base_probs_sum_to_one_and_favour_call() {
+        let r = base_probs(Some(Base::C), 20);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((r[Base::C.index()] - 0.99).abs() < 1e-12);
+        assert!((r[Base::A.index()] - 0.01 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n_call_is_uniform() {
+        assert_eq!(base_probs(None, 40), [0.25; 4]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sequenced reads: a name, a called sequence, and Phred qualities.
+
+use crate::alphabet::Base;
+use crate::error::GenomeError;
+use crate::quality;
+use crate::seq::DnaSeq;
+
+/// A single next-generation sequencing read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencedRead {
+    /// Record identifier (FASTQ header without the leading `@`).
+    pub id: String,
+    /// Called bases (`None` = `N`).
+    pub seq: DnaSeq,
+    /// Phred quality per base, same length as `seq`.
+    pub quals: Vec<u8>,
+}
+
+impl SequencedRead {
+    /// Construct, validating that qualities and sequence agree in length.
+    pub fn new(id: impl Into<String>, seq: DnaSeq, quals: Vec<u8>) -> Result<Self, GenomeError> {
+        let id = id.into();
+        if seq.len() != quals.len() {
+            return Err(GenomeError::QualityLengthMismatch {
+                record: id,
+                seq_len: seq.len(),
+                qual_len: quals.len(),
+            });
+        }
+        Ok(SequencedRead { id, seq, quals })
+    }
+
+    /// Construct with a uniform quality score on every base.
+    pub fn with_uniform_quality(id: impl Into<String>, seq: DnaSeq, q: u8) -> Self {
+        let quals = vec![q; seq.len()];
+        SequencedRead {
+            id: id.into(),
+            seq,
+            quals,
+        }
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True for a zero-length read.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The reverse-complemented read: sequence is reverse-complemented and
+    /// the quality string reversed, exactly as a mapper uses when testing the
+    /// opposite strand.
+    pub fn reverse_complement(&self) -> SequencedRead {
+        SequencedRead {
+            id: self.id.clone(),
+            seq: self.seq.reverse_complement(),
+            quals: self.quals.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Per-position base-probability rows `r_i` (see
+    /// [`quality::base_probs`]); this is the position-weight matrix the
+    /// Pair-HMM consumes.
+    pub fn base_prob_rows(&self) -> Vec<[f64; 4]> {
+        self.seq
+            .iter()
+            .zip(&self.quals)
+            .map(|(b, &q)| quality::base_probs(b, q))
+            .collect()
+    }
+
+    /// Mean Phred quality (0 for an empty read).
+    pub fn mean_quality(&self) -> f64 {
+        if self.quals.is_empty() {
+            return 0.0;
+        }
+        self.quals.iter().map(|&q| q as f64).sum::<f64>() / self.quals.len() as f64
+    }
+
+    /// Expected number of sequencing errors implied by the qualities.
+    pub fn expected_errors(&self) -> f64 {
+        self.quals
+            .iter()
+            .map(|&q| quality::phred_to_error_prob(q))
+            .sum()
+    }
+
+    /// The called base at a position (`None` = `N`).
+    pub fn base(&self, i: usize) -> Option<Base> {
+        self.seq.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(seq: &str, quals: &[u8]) -> SequencedRead {
+        SequencedRead::new("r1", seq.parse().unwrap(), quals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let r = SequencedRead::new("bad", "ACGT".parse().unwrap(), vec![30; 3]);
+        assert!(matches!(
+            r,
+            Err(GenomeError::QualityLengthMismatch { seq_len: 4, qual_len: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn reverse_complement_reverses_quals() {
+        let r = read("ACGT", &[10, 20, 30, 40]);
+        let rc = r.reverse_complement();
+        assert_eq!(rc.seq.to_string(), "ACGT");
+        assert_eq!(rc.quals, vec![40, 30, 20, 10]);
+        assert_eq!(rc.reverse_complement(), r);
+    }
+
+    #[test]
+    fn pwm_rows_follow_qualities() {
+        let r = read("AN", &[20, 20]);
+        let rows = r.base_prob_rows();
+        assert!((rows[0][0] - 0.99).abs() < 1e-12);
+        assert_eq!(rows[1], [0.25; 4]);
+    }
+
+    #[test]
+    fn expected_errors_and_mean_quality() {
+        let r = read("AAAA", &[10, 10, 20, 20]);
+        assert!((r.expected_errors() - 0.22).abs() < 1e-12);
+        assert!((r.mean_quality() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_quality_constructor() {
+        let r = SequencedRead::with_uniform_quality("u", "ACG".parse().unwrap(), 33);
+        assert_eq!(r.quals, vec![33, 33, 33]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Half-open genomic intervals.
+
+use std::fmt;
+
+/// A half-open interval `[start, end)` on the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Region {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Region {
+    /// Construct; panics when `end < start`.
+    pub fn new(start: usize, end: usize) -> Region {
+        assert!(end >= start, "region end {end} before start {start}");
+        Region { start, end }
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for a zero-length region.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `pos` lies inside the interval.
+    pub fn contains(&self, pos: usize) -> bool {
+        (self.start..self.end).contains(&pos)
+    }
+
+    /// Whether two regions share at least one position.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The intersection, if any.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then(|| Region::new(start, end))
+    }
+
+    /// Grow by `pad` on both sides, clamped to `[0, limit)`.
+    pub fn padded(&self, pad: usize, limit: usize) -> Region {
+        Region::new(
+            self.start.saturating_sub(pad),
+            (self.end + pad).min(limit),
+        )
+    }
+
+    /// Split `[0, total)` into `n` near-equal contiguous shards (the
+    /// genome-split MPI decomposition). The first `total % n` shards are one
+    /// position longer; shards cover the range exactly, without overlap.
+    pub fn shards(total: usize, n: usize) -> Vec<Region> {
+        assert!(n >= 1, "need at least one shard");
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let len = base + usize::from(i < extra);
+            out.push(Region::new(start, start + len));
+            start += len;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let r = Region::new(5, 10);
+        assert_eq!(r.len(), 5);
+        assert!(r.contains(5));
+        assert!(r.contains(9));
+        assert!(!r.contains(10));
+        assert!(!r.is_empty());
+        assert!(Region::new(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_region_panics() {
+        let _ = Region::new(10, 5);
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Region::new(0, 10);
+        let b = Region::new(5, 15);
+        let c = Region::new(10, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // half-open: touching is not overlapping
+        assert_eq!(a.intersect(&b), Some(Region::new(5, 10)));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn padding_clamps() {
+        let r = Region::new(2, 5);
+        assert_eq!(r.padded(3, 100), Region::new(0, 8));
+        assert_eq!(r.padded(3, 6), Region::new(0, 6));
+    }
+
+    #[test]
+    fn shards_partition_exactly() {
+        for total in [0usize, 1, 7, 100, 101] {
+            for n in [1usize, 2, 3, 7, 16] {
+                let shards = Region::shards(total, n);
+                assert_eq!(shards.len(), n);
+                assert_eq!(shards[0].start, 0);
+                assert_eq!(shards[n - 1].end, total);
+                for w in shards.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let lens: Vec<usize> = shards.iter().map(Region::len).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "shards should be near-equal: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Region::new(1, 4).to_string(), "[1, 4)");
+    }
+}

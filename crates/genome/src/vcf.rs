@@ -1,0 +1,227 @@
+//! A minimal VCF 4.2 subset: writing and re-reading SNP call sites.
+//!
+//! GNUMAP-SNP's final step "will print this location to a file" (paper
+//! Figure 1, step D). Modern pipelines expect that file to be VCF, so the
+//! library ships a small, strict VCF subset: single-sample, SNVs only,
+//! `GT` genotype plus the caller's statistic and adjusted p-value carried
+//! in INFO. This is intentionally not a general VCF engine — just enough
+//! to interoperate and round-trip our own calls.
+
+use crate::alphabet::Base;
+use crate::error::GenomeError;
+use std::io::{BufRead, Write};
+
+/// One VCF data row (SNV only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcfRecord {
+    /// Chromosome / contig name.
+    pub chrom: String,
+    /// 0-based position (VCF serialises 1-based).
+    pub pos: usize,
+    /// Reference allele.
+    pub reference: Base,
+    /// Alternate allele(s); one for homozygous, possibly two for het calls
+    /// where neither allele matches the reference.
+    pub alts: Vec<Base>,
+    /// Phred-scaled quality (`-10·log10 p`), capped for p = 0.
+    pub qual: f64,
+    /// The LRT statistic (INFO `LRT=`).
+    pub lrt: f64,
+    /// Adjusted p-value (INFO `PADJ=`).
+    pub p_adjusted: f64,
+    /// Genotype string, e.g. `1/1` or `0/1`.
+    pub genotype: String,
+}
+
+impl VcfRecord {
+    /// Serialise one data line.
+    fn to_line(&self) -> String {
+        let alts: Vec<String> = self.alts.iter().map(|b| b.to_string()).collect();
+        format!(
+            "{}\t{}\t.\t{}\t{}\t{:.2}\tPASS\tLRT={:.4};PADJ={:.6e}\tGT\t{}",
+            self.chrom,
+            self.pos + 1,
+            self.reference,
+            alts.join(","),
+            self.qual,
+            self.lrt,
+            self.p_adjusted,
+            self.genotype
+        )
+    }
+}
+
+/// Write a VCF header plus records.
+pub fn write_vcf<W: Write>(
+    mut w: W,
+    sample: &str,
+    records: &[VcfRecord],
+) -> Result<(), GenomeError> {
+    writeln!(w, "##fileformat=VCFv4.2")?;
+    writeln!(w, "##source=gnumap-snp")?;
+    writeln!(
+        w,
+        "##INFO=<ID=LRT,Number=1,Type=Float,Description=\"-2 log likelihood ratio\">"
+    )?;
+    writeln!(
+        w,
+        "##INFO=<ID=PADJ,Number=1,Type=Float,Description=\"Multiplicity-adjusted p-value\">"
+    )?;
+    writeln!(
+        w,
+        "##FORMAT=<ID=GT,Number=1,Type=String,Description=\"Genotype\">"
+    )?;
+    writeln!(
+        w,
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t{sample}"
+    )?;
+    for r in records {
+        writeln!(w, "{}", r.to_line())?;
+    }
+    Ok(())
+}
+
+/// Parse the VCF subset written by [`write_vcf`]. Header lines are
+/// validated minimally (must start with `#`).
+pub fn read_vcf<R: BufRead>(reader: R) -> Result<Vec<VcfRecord>, GenomeError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 10 {
+            return Err(GenomeError::Malformed {
+                line: lineno,
+                reason: format!("expected ≥10 tab-separated fields, got {}", fields.len()),
+            });
+        }
+        let parse_base = |s: &str| -> Result<Base, GenomeError> {
+            s.bytes()
+                .next()
+                .and_then(Base::from_ascii)
+                .filter(|_| s.len() == 1)
+                .ok_or(GenomeError::Malformed {
+                    line: lineno,
+                    reason: format!("not a SNV allele: {s:?}"),
+                })
+        };
+        let pos: usize = fields[1].parse().map_err(|_| GenomeError::Malformed {
+            line: lineno,
+            reason: format!("bad POS {:?}", fields[1]),
+        })?;
+        if pos == 0 {
+            return Err(GenomeError::Malformed {
+                line: lineno,
+                reason: "VCF POS is 1-based".into(),
+            });
+        }
+        let mut alts = Vec::new();
+        for alt in fields[4].split(',') {
+            alts.push(parse_base(alt)?);
+        }
+        // INFO: LRT=...;PADJ=...
+        let mut lrt = f64::NAN;
+        let mut p_adjusted = f64::NAN;
+        for kv in fields[7].split(';') {
+            if let Some(v) = kv.strip_prefix("LRT=") {
+                lrt = v.parse().unwrap_or(f64::NAN);
+            } else if let Some(v) = kv.strip_prefix("PADJ=") {
+                p_adjusted = v.parse().unwrap_or(f64::NAN);
+            }
+        }
+        out.push(VcfRecord {
+            chrom: fields[0].to_string(),
+            pos: pos - 1,
+            reference: parse_base(fields[3])?,
+            alts,
+            qual: fields[5].parse().unwrap_or(0.0),
+            lrt,
+            p_adjusted,
+            genotype: fields[9].to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Phred-scale a p-value (capped at 990 for p = 0 / underflow).
+pub fn phred_scaled(p: f64) -> f64 {
+    if p <= 0.0 {
+        990.0
+    } else {
+        (-10.0 * p.log10()).min(990.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn record(pos: usize) -> VcfRecord {
+        VcfRecord {
+            chrom: "chrSim".into(),
+            pos,
+            reference: Base::A,
+            alts: vec![Base::G],
+            qual: 72.5,
+            lrt: 31.4,
+            p_adjusted: 1.25e-7,
+            genotype: "1/1".into(),
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let records = vec![
+            record(99),
+            VcfRecord {
+                alts: vec![Base::C, Base::T],
+                genotype: "1/2".into(),
+                ..record(1233)
+            },
+        ];
+        let mut buf = Vec::new();
+        write_vcf(&mut buf, "sample1", &records).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("##fileformat=VCFv4.2"));
+        assert!(text.contains("\t100\t")); // 1-based serialisation
+        let back = read_vcf(Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].pos, 99);
+        assert_eq!(back[0].reference, Base::A);
+        assert_eq!(back[0].alts, vec![Base::G]);
+        assert!((back[0].p_adjusted - 1.25e-7).abs() / 1.25e-7 < 1e-3);
+        assert_eq!(back[1].alts, vec![Base::C, Base::T]);
+        assert_eq!(back[1].genotype, "1/2");
+    }
+
+    #[test]
+    fn rejects_zero_pos() {
+        let line = "c\t0\t.\tA\tG\t10\tPASS\tLRT=1;PADJ=0.1\tGT\t1/1\n";
+        assert!(read_vcf(Cursor::new(line)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_snv_alleles() {
+        let line = "c\t5\t.\tAT\tG\t10\tPASS\tLRT=1;PADJ=0.1\tGT\t1/1\n";
+        assert!(read_vcf(Cursor::new(line)).is_err());
+        let line = "c\t5\t.\tA\tGTT\t10\tPASS\tLRT=1;PADJ=0.1\tGT\t1/1\n";
+        assert!(read_vcf(Cursor::new(line)).is_err());
+    }
+
+    #[test]
+    fn short_line_rejected_with_line_number() {
+        let err = read_vcf(Cursor::new("#h\nc\t5\t.\tA\n")).unwrap_err();
+        assert!(matches!(err, GenomeError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn phred_scaling() {
+        assert!((phred_scaled(0.001) - 30.0).abs() < 1e-9);
+        assert_eq!(phred_scaled(0.0), 990.0);
+        assert_eq!(phred_scaled(1e-200), 990.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for sequence storage, k-mer machinery and I/O.
+
+use genome::alphabet::Base;
+use genome::fasta::{read_fasta, write_fasta, FastaRecord};
+use genome::fastq::{read_fastq, write_fastq};
+use genome::index::{IndexConfig, KmerIndex};
+use genome::kmer::KmerIter;
+use genome::packed::PackedSeq;
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use proptest::prelude::*;
+
+/// Random DNA sequence with occasional Ns.
+fn dna(max_len: usize) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..5, 0..max_len).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| (c < 4).then(|| Base::from_index(c as usize)))
+            .collect()
+    })
+}
+
+/// Random DNA with no Ns (for k-mer tests).
+fn dna_concrete(min_len: usize, max_len: usize) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..4, min_len..max_len).prop_map(|codes| {
+        DnaSeq::from_bases(codes.into_iter().map(|c| Base::from_index(c as usize)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packed_round_trip(seq in dna(300)) {
+        let packed = PackedSeq::from_dna(&seq);
+        prop_assert_eq!(packed.to_dna(), seq);
+    }
+
+    #[test]
+    fn reverse_complement_involution(seq in dna(200)) {
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn ascii_round_trip(seq in dna(200)) {
+        let text = seq.to_ascii();
+        prop_assert_eq!(DnaSeq::from_ascii(&text).unwrap(), seq);
+    }
+
+    #[test]
+    fn fasta_round_trip(seq in dna(500), width in 1usize..120) {
+        let records = vec![FastaRecord { id: "x".into(), seq }];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, width).unwrap();
+        let back = read_fasta(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fastq_round_trip(
+        seq in dna_concrete(1, 150),
+        q in 0u8..90,
+    ) {
+        let read = SequencedRead::with_uniform_quality("r/1", seq, q);
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, std::slice::from_ref(&read)).unwrap();
+        let back = read_fastq(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, vec![read]);
+    }
+
+    #[test]
+    fn rolling_kmers_match_naive_windows(seq in dna(150), k in 1usize..12) {
+        let rolled: Vec<(usize, u64)> = KmerIter::new(&seq, k)
+            .unwrap()
+            .map(|(p, km)| (p, km.packed()))
+            .collect();
+        // Naive: every window of k concrete bases.
+        let mut naive = Vec::new();
+        if seq.len() >= k {
+            'outer: for p in 0..=seq.len() - k {
+                let mut packed = 0u64;
+                for i in 0..k {
+                    match seq.get(p + i) {
+                        Some(b) => packed = (packed << 2) | b.code() as u64,
+                        None => continue 'outer,
+                    }
+                }
+                naive.push((p, packed));
+            }
+        }
+        prop_assert_eq!(rolled, naive);
+    }
+
+    #[test]
+    fn index_lookup_positions_are_real_occurrences(
+        seq in dna_concrete(20, 200),
+        k in 4usize..9,
+    ) {
+        let index = KmerIndex::build(
+            &seq,
+            IndexConfig { k, max_occurrences: 1_000, stride: 1 },
+        ).unwrap();
+        // Every stored position must reproduce its k-mer.
+        for (pos, kmer) in KmerIter::new(&seq, k).unwrap() {
+            let hits = index.lookup(kmer.packed());
+            prop_assert!(hits.contains(&(pos as u32)),
+                "position {pos} missing from its own k-mer's hit list");
+        }
+        // And lookups never point at non-occurrences.
+        for (_, kmer) in KmerIter::new(&seq, k).unwrap() {
+            for &hit in index.lookup(kmer.packed()) {
+                let window = seq.window(hit as usize, hit as usize + k);
+                let mut packed = 0u64;
+                for b in window.iter() {
+                    packed = (packed << 2) | b.unwrap().code() as u64;
+                }
+                prop_assert_eq!(packed, kmer.packed());
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_triangle_inequality(
+        a in dna_concrete(10, 40),
+    ) {
+        // Mutate two copies independently and check d(a,b) <= d(a,c) + d(c,b).
+        let b: DnaSeq = a.iter().map(|x| x.map(Base::transition)).collect();
+        let c: DnaSeq = a
+            .iter()
+            .enumerate()
+            .map(|(i, x)| if i % 2 == 0 { x } else { x.map(Base::transition) })
+            .collect();
+        let d_ab = a.hamming(&b);
+        let d_ac = a.hamming(&c);
+        let d_cb = c.hamming(&b);
+        prop_assert!(d_ab <= d_ac + d_cb);
+    }
+}

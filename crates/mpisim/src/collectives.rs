@@ -1,0 +1,262 @@
+//! Collective operations built on the point-to-point layer.
+//!
+//! Every collective is implemented the way a textbook MPI layer would build
+//! it from sends and receives (star topology rooted at a designated rank),
+//! and every rank must call the collective in the same program order — the
+//! shared sequence counter turns each call site into a unique reserved tag,
+//! so interleaved user traffic cannot be confused with collective traffic.
+//!
+//! Reductions fold in **rank order**, making them deterministic even for
+//! non-associative floating-point operators.
+
+use crate::wire::WireSize;
+use crate::world::{Rank, COLLECTIVE_TAG_BASE};
+use std::sync::atomic::Ordering;
+
+impl Rank {
+    /// Next reserved tag for a collective call site.
+    fn next_coll_tag(&mut self) -> u64 {
+        let tag = COLLECTIVE_TAG_BASE + self.coll_seq;
+        self.coll_seq += 1;
+        if self.id() == 0 {
+            self.stats.collectives.fetch_add(1, Ordering::Relaxed);
+        }
+        tag
+    }
+
+    /// Broadcast `value` from `root` to every rank. Ranks other than the
+    /// root pass `None`; every rank (including the root) returns the value.
+    pub fn broadcast<T>(&mut self, root: usize, value: Option<T>) -> T
+    where
+        T: WireSize + Clone + Send + 'static,
+    {
+        assert!(root < self.size(), "root {root} out of range");
+        let tag = self.next_coll_tag();
+        if self.id() == root {
+            let v = value.expect("root must supply the broadcast value");
+            for dest in 0..self.size() {
+                if dest != root {
+                    self.send_internal(dest, tag, v.clone());
+                }
+            }
+            v
+        } else {
+            assert!(value.is_none(), "non-root ranks must pass None");
+            self.recv::<T>(root, tag)
+        }
+    }
+
+    /// Gather one value from every rank at `root`. The root receives the
+    /// values in rank order; other ranks receive `None`.
+    pub fn gather<T>(&mut self, root: usize, value: T) -> Option<Vec<T>>
+    where
+        T: WireSize + Send + 'static,
+    {
+        assert!(root < self.size(), "root {root} out of range");
+        let tag = self.next_coll_tag();
+        if self.id() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv::<T>(src, tag));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send_internal(root, tag, value);
+            None
+        }
+    }
+
+    /// Reduce values from all ranks at `root` with `op`, folding in rank
+    /// order. Non-root ranks receive `None`.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: WireSize + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let gathered = self.gather(root, value)?;
+        let mut it = gathered.into_iter();
+        let first = it.next().expect("world has at least one rank");
+        Some(it.fold(first, op))
+    }
+
+    /// Reduce at rank 0 then broadcast the result to every rank.
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: WireSize + Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced)
+    }
+
+    /// Scatter one value per rank from `root`: rank `i` receives
+    /// `values[i]`. Non-root ranks pass `None`.
+    pub fn scatter<T>(&mut self, root: usize, values: Option<Vec<T>>) -> T
+    where
+        T: WireSize + Send + 'static,
+    {
+        assert!(root < self.size(), "root {root} out of range");
+        let tag = self.next_coll_tag();
+        if self.id() == root {
+            let mut values = values.expect("root must supply the scatter values");
+            assert_eq!(values.len(), self.size(), "need one value per rank");
+            // Send in reverse so we can pop without shifting.
+            let mut own: Option<T> = None;
+            for dest in (0..self.size()).rev() {
+                let v = values.pop().expect("length checked above");
+                if dest == root {
+                    own = Some(v);
+                } else {
+                    self.send_internal(dest, tag, v);
+                }
+            }
+            own.expect("root keeps its own slice")
+        } else {
+            assert!(values.is_none(), "non-root ranks must pass None");
+            self.recv::<T>(root, tag)
+        }
+    }
+
+    /// All-gather: every rank ends up with every rank's value, in rank
+    /// order.
+    pub fn allgather<T>(&mut self, value: T) -> Vec<T>
+    where
+        T: WireSize + Clone + Send + 'static,
+    {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let world = World::new(4);
+        let got = world.run(|rank| {
+            let v = if rank.id() == 2 {
+                Some(vec![1u32, 2, 3])
+            } else {
+                None
+            };
+            rank.broadcast(2, v)
+        });
+        assert!(got.iter().all(|v| v == &[1, 2, 3]));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let world = World::new(5);
+        let got = world.run(|rank| rank.gather(0, rank.id() as u64 * 10));
+        assert_eq!(got[0], Some(vec![0, 10, 20, 30, 40]));
+        assert!(got[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn reduce_folds_in_rank_order() {
+        let world = World::new(4);
+        // Non-commutative op: string concatenation — detects ordering.
+        let got = world.run(|rank| {
+            rank.reduce(0, format!("{}", rank.id()), |a, b| a + &b)
+        });
+        assert_eq!(got[0], Some("0123".to_string()));
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere() {
+        let world = World::new(6);
+        let got = world.run(|rank| rank.allreduce(rank.id() as u64 + 1, |a, b| a + b));
+        assert_eq!(got, vec![21; 6]);
+    }
+
+    #[test]
+    fn allreduce_of_vectors_elementwise() {
+        // The genome-reduction pattern used by the read-split driver.
+        let world = World::new(3);
+        let got = world.run(|rank| {
+            let local = vec![rank.id() as f64; 4];
+            rank.allreduce(local, |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            })
+        });
+        assert!(got.iter().all(|v| v == &[3.0, 3.0, 3.0, 3.0]));
+    }
+
+    #[test]
+    fn scatter_distributes_slices() {
+        let world = World::new(3);
+        let got = world.run(|rank| {
+            let v = if rank.id() == 1 {
+                Some(vec![vec![0u8; 1], vec![1u8; 2], vec![2u8; 3]])
+            } else {
+                None
+            };
+            rank.scatter(1, v)
+        });
+        assert_eq!(got[0], vec![0u8; 1]);
+        assert_eq!(got[1], vec![1u8; 2]);
+        assert_eq!(got[2], vec![2u8; 3]);
+    }
+
+    #[test]
+    fn allgather_everywhere() {
+        let world = World::new(4);
+        let got = world.run(|rank| rank.allgather(rank.id() as u32));
+        assert!(got.iter().all(|v| v == &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn collectives_interleave_with_user_traffic() {
+        // A collective between user sends must not steal user messages.
+        let world = World::new(2);
+        let got = world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 5, 42u64);
+                let s = rank.allreduce(1u64, |a, b| a + b);
+                rank.send(1, 6, 43u64);
+                s
+            } else {
+                let s = rank.allreduce(1u64, |a, b| a + b);
+                let a = rank.recv::<u64>(0, 5);
+                let b = rank.recv::<u64>(0, 6);
+                s + a + b
+            }
+        });
+        assert_eq!(got, vec![2, 2 + 42 + 43]);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let world = World::new(3);
+        let got = world.run(|rank| {
+            let mut acc = Vec::new();
+            for round in 0..5u64 {
+                acc.push(rank.allreduce(round + rank.id() as u64, |a, b| a.max(b)));
+            }
+            acc
+        });
+        for v in got {
+            assert_eq!(v, vec![2, 3, 4, 5, 6]);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_collectives() {
+        let world = World::new(1);
+        let got = world.run(|rank| {
+            let b = rank.broadcast(0, Some(7u8));
+            let g = rank.gather(0, 9u8).unwrap();
+            let r = rank.allreduce(5u8, |a, b| a + b);
+            (b, g, r)
+        });
+        assert_eq!(got[0], (7, vec![9], 5));
+    }
+}

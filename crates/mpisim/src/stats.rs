@@ -1,0 +1,79 @@
+//! Communication-traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-world traffic counters, shared by all ranks through atomics.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    pub messages: AtomicU64,
+    pub payload_bytes: AtomicU64,
+    pub barriers: AtomicU64,
+    pub collectives: AtomicU64,
+}
+
+impl SharedStats {
+    pub fn record_send(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.payload_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            payload_bytes: self.payload_bytes.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            collectives: self.collectives.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the messages exchanged during a [`crate::World`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Point-to-point messages sent (collectives count their constituent
+    /// point-to-point sends here too).
+    pub messages: u64,
+    /// Total modelled payload bytes across all messages.
+    pub payload_bytes: u64,
+    /// Barrier operations executed (counted once per barrier, not per rank).
+    pub barriers: u64,
+    /// Collective operations executed (counted once per collective).
+    pub collectives: u64,
+}
+
+impl std::fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} msgs, {} payload bytes, {} barriers, {} collectives",
+            self.messages, self.payload_bytes, self.barriers, self.collectives
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = SharedStats::default();
+        s.record_send(100);
+        s.record_send(28);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.payload_bytes, 128);
+        assert_eq!(snap.barriers, 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = TrafficStats {
+            messages: 3,
+            payload_bytes: 12,
+            barriers: 1,
+            collectives: 2,
+        };
+        assert!(t.to_string().contains("3 msgs"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Payload size accounting for traffic statistics.
+//!
+//! Real MPI serialises messages onto the network; here messages move as
+//! in-process values, so the "wire size" is an explicit model: the number
+//! of bytes the payload would occupy in a flat encoding. Every sendable
+//! type reports its own size through [`WireSize`].
+
+/// Number of bytes this value would occupy serialised on a wire.
+pub trait WireSize {
+    /// Approximate flat-encoded size in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+macro_rules! impl_wire_for_primitives {
+    ($($t:ty),* $(,)?) => {
+        $(impl WireSize for $t {
+            fn wire_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_wire_for_primitives!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl WireSize for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for String {
+    fn wire_bytes(&self) -> usize {
+        self.len() + std::mem::size_of::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        std::mem::size_of::<usize>() + self.iter().map(WireSize::wire_bytes).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+impl<T: WireSize, const N: usize> WireSize for [T; N] {
+    fn wire_bytes(&self) -> usize {
+        self.iter().map(WireSize::wire_bytes).sum()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(0u64.wire_bytes(), 8);
+        assert_eq!(0.0f32.wire_bytes(), 4);
+        assert_eq!(true.wire_bytes(), 1);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn container_sizes() {
+        assert_eq!(vec![0.0f64; 10].wire_bytes(), 8 + 80);
+        assert_eq!("abcd".to_string().wire_bytes(), 8 + 4);
+        assert_eq!(Some(1u32).wire_bytes(), 5);
+        assert_eq!(None::<u32>.wire_bytes(), 1);
+        assert_eq!([1u8; 16].wire_bytes(), 16);
+        assert_eq!((1u64, vec![0u8; 3]).wire_bytes(), 8 + 8 + 3);
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let v: Vec<Vec<f32>> = vec![vec![0.0; 4]; 3];
+        assert_eq!(v.wire_bytes(), 8 + 3 * (8 + 16));
+    }
+}

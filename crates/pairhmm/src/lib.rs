@@ -1,0 +1,58 @@
+//! Quality-extended Pair Hidden Markov Model — the paper's core contribution.
+//!
+//! A three-state (M, G_X, G_Y) Pair-HMM aligns a sequencing read `x` to a
+//! candidate genome window `y`. Unlike a Needleman–Wunsch aligner that
+//! commits to one best path, the forward–backward algorithm marginalises
+//! over *all* alignments, producing for every `(i, j)` the posterior
+//! probability that read base `x_i` aligns to genome base `y_j` (or to a
+//! gap). Those posteriors, weighted by the read's quality-derived
+//! position-weight matrix, become the per-genome-position base-probability
+//! vectors `z` that drive SNP calling.
+//!
+//! Module map:
+//!
+//! * [`params`]   — transition/emission parameterisation (`T_MM`, `T_MG`,
+//!   `T_GM`, `T_GG`, match emission matrix `p_ab`, gap emission `q`).
+//! * [`pwm`]      — position-weight matrix built from read qualities
+//!   (`r_ik` in the paper), and the blended emission `p*(i, j)`.
+//! * [`matrix`]   — dense `f64` DP matrices.
+//! * [`mod@forward`] / [`mod@backward`] — the dynamic programs of Section VI Step 2.
+//! * [`marginal`] — posterior cell probabilities and per-column `z` vectors.
+//! * [`mod@viterbi`]  — single best alignment (for comparison and examples).
+//! * [`banded`]   — banded variants of the forward/backward recursions.
+//! * [`logspace`] — log-sum-exp forward, a third independent numeric
+//!   backend used for cross-validation.
+//! * [`scaling`]  — row-rescaled forward/backward for very long reads.
+//! * [`bruteforce`] — exhaustive alignment enumeration (test oracle).
+//!
+//! ### Fidelity notes
+//!
+//! The paper's printed forward recursion for the match state reads
+//! `T_MG·f_GX(i−1, j) + T_MG·f_GY(i, j−1)`; entering M at `(i, j)` must
+//! consume both `x_i` and `y_j` from predecessors at `(i−1, j−1)` and pay a
+//! gap-to-match transition, so we implement the (cited) Durbin et al. form
+//! `T_GM·[f_GX(i−1, j−1) + f_GY(i−1, j−1)]`, which is also the unique form
+//! consistent with the paper's own backward recursion. Likewise, the `z`
+//! normalisation falls out exactly: for a fixed genome column `j`, every
+//! alignment consumes `y_j` in exactly one M or G_Y state, so the match and
+//! deletion marginals of a column already sum to one.
+
+pub mod backward;
+pub mod banded;
+pub mod bruteforce;
+pub mod forward;
+pub mod logspace;
+pub mod marginal;
+pub mod matrix;
+pub mod params;
+pub mod pwm;
+pub mod scaling;
+pub mod viterbi;
+
+pub use backward::backward;
+pub use forward::forward;
+pub use marginal::{ColumnPosterior, PosteriorAlignment};
+pub use matrix::Matrix;
+pub use params::PhmmParams;
+pub use pwm::Pwm;
+pub use viterbi::{viterbi, AlignOp, Alignment};

@@ -1,0 +1,205 @@
+//! Log-space forward/backward — an independent numeric backend.
+//!
+//! The linear-space DP ([`crate::forward`]) is exact and fast for short
+//! reads; the row-rescaled variant ([`crate::scaling`]) extends its range.
+//! This module implements the recursions a third way — every quantity kept
+//! as a natural logarithm, sums via the log-sum-exp primitive — which is
+//! immune to underflow at any length and serves as one more independent
+//! cross-check of the other two implementations (they share no numeric
+//! code paths).
+
+use crate::matrix::Matrix;
+use crate::params::PhmmParams;
+
+/// Numerically stable `ln(e^a + e^b)`.
+#[inline]
+pub fn log_add(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Stable `ln(e^a + e^b + e^c)`.
+#[inline]
+pub fn log_add3(a: f64, b: f64, c: f64) -> f64 {
+    log_add(log_add(a, b), c)
+}
+
+/// Log-space tables and total.
+#[derive(Debug, Clone)]
+pub struct LogForwardResult {
+    /// `ln f_M`, `(N+1) × (M+1)`; `NEG_INFINITY` encodes zero.
+    pub m: Matrix,
+    /// `ln f_GX`.
+    pub x: Matrix,
+    /// `ln f_GY`.
+    pub y: Matrix,
+    /// `ln` of the total pair likelihood.
+    pub log_total: f64,
+}
+
+fn neg_inf_matrix(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m.set(r, c, f64::NEG_INFINITY);
+        }
+    }
+    m
+}
+
+/// Log-space forward pass over `emit[i-1][j-1] = p*(i, j)`.
+pub fn log_forward(emit: &[Vec<f64>], params: &PhmmParams) -> LogForwardResult {
+    let n = emit.len();
+    assert!(n >= 1, "read must be non-empty");
+    let m_len = emit[0].len();
+    assert!(m_len >= 1, "window must be non-empty");
+
+    let ln = |v: f64| if v > 0.0 { v.ln() } else { f64::NEG_INFINITY };
+    let (lt_mm, lt_mg, lt_gm, lt_gg, lq) = (
+        ln(params.t_mm),
+        ln(params.t_mg),
+        ln(params.t_gm),
+        ln(params.t_gg),
+        ln(params.q),
+    );
+
+    let mut fm = neg_inf_matrix(n + 1, m_len + 1);
+    let mut fx = neg_inf_matrix(n + 1, m_len + 1);
+    let mut fy = neg_inf_matrix(n + 1, m_len + 1);
+    fm.set(0, 0, 0.0); // ln 1
+
+    for i in 1..=n {
+        for j in 1..=m_len {
+            let le = ln(emit[i - 1][j - 1]);
+            let diag = log_add3(
+                lt_mm + fm.get(i - 1, j - 1),
+                lt_gm + fx.get(i - 1, j - 1),
+                lt_gm + fy.get(i - 1, j - 1),
+            );
+            fm.set(i, j, le + diag);
+            fx.set(
+                i,
+                j,
+                lq + log_add(lt_mg + fm.get(i - 1, j), lt_gg + fx.get(i - 1, j)),
+            );
+            fy.set(
+                i,
+                j,
+                lq + log_add(lt_mg + fm.get(i, j - 1), lt_gg + fy.get(i, j - 1)),
+            );
+        }
+    }
+
+    let log_total = log_add3(
+        fm.get(n, m_len),
+        fx.get(n, m_len),
+        fy.get(n, m_len),
+    );
+    LogForwardResult {
+        m: fm,
+        x: fx,
+        y: fy,
+        log_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::forward;
+    use crate::scaling::scaled_forward;
+
+    fn varied_emit(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| 0.1 + 0.85 * (((i * 41 + j * 19 + 5) % 23) as f64 / 23.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn log_add_basics() {
+        assert!((log_add(0.0, 0.0) - std::f64::consts::LN_2).abs() < 1e-15);
+        assert_eq!(log_add(f64::NEG_INFINITY, 3.0), 3.0);
+        assert_eq!(log_add(3.0, f64::NEG_INFINITY), 3.0);
+        assert_eq!(
+            log_add(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+        // ln(e^1 + e^2 + e^3)
+        let direct = (1f64.exp() + 2f64.exp() + 3f64.exp()).ln();
+        assert!((log_add3(1.0, 2.0, 3.0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_linear_space_forward() {
+        let params = PhmmParams::with_gap_rates(0.05, 0.55, 0.03);
+        for (n, m) in [(1, 1), (3, 4), (10, 10), (25, 27), (62, 62)] {
+            let emit = varied_emit(n, m);
+            let linear = forward(&emit, &params).total;
+            let logspace = log_forward(&emit, &params).log_total;
+            assert!(
+                (logspace - linear.ln()).abs() < 1e-9,
+                "{n}x{m}: log {logspace} vs ln(linear) {}",
+                linear.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_scaled_forward_far_below_underflow() {
+        let params = PhmmParams::default();
+        let emit = vec![vec![1e-250; 30]; 30];
+        let logspace = log_forward(&emit, &params).log_total;
+        let scaled = scaled_forward(&emit, &params).log_total;
+        assert!(logspace.is_finite());
+        assert!(
+            (logspace - scaled).abs() < 1e-6 * scaled.abs(),
+            "log {logspace} vs scaled {scaled}"
+        );
+    }
+
+    #[test]
+    fn per_cell_values_match_linear_space() {
+        let params = PhmmParams::with_gap_rates(0.08, 0.5, 0.04);
+        let emit = varied_emit(6, 7);
+        let linear = forward(&emit, &params);
+        let logspace = log_forward(&emit, &params);
+        for i in 1..=6 {
+            for j in 1..=7 {
+                for (lin_m, log_m) in [
+                    (&linear.tables.m, &logspace.m),
+                    (&linear.tables.x, &logspace.x),
+                    (&linear.tables.y, &logspace.y),
+                ] {
+                    let lin = lin_m.get(i, j);
+                    let log = log_m.get(i, j);
+                    if lin == 0.0 {
+                        assert_eq!(log, f64::NEG_INFINITY, "cell ({i},{j})");
+                    } else {
+                        assert!(
+                            (log - lin.ln()).abs() < 1e-9,
+                            "cell ({i},{j}): {log} vs {}",
+                            lin.ln()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_emissions_give_neg_infinity() {
+        let params = PhmmParams::default();
+        let emit = vec![vec![0.0; 3]; 3];
+        assert_eq!(log_forward(&emit, &params).log_total, f64::NEG_INFINITY);
+    }
+}

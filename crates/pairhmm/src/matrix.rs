@@ -1,0 +1,104 @@
+//! Dense row-major `f64` matrices for the DP recursions.
+//!
+//! The DP tables are `(N+1) × (M+1)` with reads of 36–100 bp against
+//! windows of similar size, so a flat `Vec<f64>` with multiply-free row
+//! indexing is both the simplest and the fastest layout (the inner loops
+//! walk rows contiguously).
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow a whole row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Multiply every element in a row by `factor` (used by the scaled DP).
+    pub fn scale_row(&mut self, r: usize, factor: f64) {
+        for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
+            *v *= factor;
+        }
+    }
+
+    /// Largest element in a row (0 for an all-zero row).
+    pub fn row_max(&self, r: usize) -> f64 {
+        self.row(r).iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = Matrix::zeros(3, 4);
+        m.set(2, 3, 1.5);
+        m.set(0, 0, -2.0);
+        assert_eq!(m.get(2, 3), 1.5);
+        assert_eq!(m.get(0, 0), -2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+    }
+
+    #[test]
+    fn row_operations() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 0, 2.0);
+        m.set(1, 2, 8.0);
+        assert_eq!(m.row(1), &[2.0, 0.0, 8.0]);
+        assert_eq!(m.row_max(1), 8.0);
+        assert_eq!(m.row_max(0), 0.0);
+        m.scale_row(1, 0.5);
+        assert_eq!(m.row(1), &[1.0, 0.0, 4.0]);
+        assert_eq!(m.sum(), 5.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Row-rescaled forward recursion for numerically extreme inputs.
+//!
+//! The plain forward values decay geometrically with read length; for the
+//! paper's 62-bp reads `f64` has head-room to spare, but long reads (or
+//! pathologically small emissions) underflow. The scaled variant
+//! renormalises each completed row to a maximum of 1 and accumulates the
+//! log of the scale factors, returning `log P(x, y)` directly.
+
+use crate::forward::DpTables;
+use crate::params::PhmmParams;
+
+/// Result of the scaled forward pass.
+#[derive(Debug, Clone)]
+pub struct ScaledForwardResult {
+    /// `ln` of the total likelihood, or `f64::NEG_INFINITY` when the pair
+    /// has zero probability.
+    pub log_total: f64,
+}
+
+/// Scaled forward algorithm returning the log-likelihood of the pair.
+pub fn scaled_forward(emit: &[Vec<f64>], params: &PhmmParams) -> ScaledForwardResult {
+    let n = emit.len();
+    assert!(n >= 1, "read must be non-empty");
+    let m = emit[0].len();
+    assert!(m >= 1, "window must be non-empty");
+
+    let mut t = DpTables::zeros(n, m);
+    t.m.set(0, 0, 1.0);
+    // log of the product of scale factors applied to rows 0..=i.
+    let mut log_scale = vec![0.0f64; n + 1];
+
+    let &PhmmParams {
+        t_mm,
+        t_mg,
+        t_gm,
+        t_gg,
+        q,
+        ..
+    } = params;
+
+    for i in 1..=n {
+        for j in 1..=m {
+            // Row i-1 has been rescaled by exp(log_scale[i-1] - true); the
+            // recursion is homogeneous of degree 1 in the previous row and
+            // current row, so the relative values stay correct. The G_Y
+            // term references the *current* row (i, j-1), already at this
+            // row's scale: both scales agree once the row is normalised,
+            // because f_Y(i, j) only feeds from row i and row i-1 values.
+            let fm = emit[i - 1][j - 1]
+                * (t_mm * t.m.get(i - 1, j - 1)
+                    + t_gm * (t.x.get(i - 1, j - 1) + t.y.get(i - 1, j - 1)));
+            let fx = q * (t_mg * t.m.get(i - 1, j) + t_gg * t.x.get(i - 1, j));
+            let fy = q * (t_mg * t.m.get(i, j - 1) + t_gg * t.y.get(i, j - 1));
+            t.m.set(i, j, fm);
+            t.x.set(i, j, fx);
+            t.y.set(i, j, fy);
+        }
+        // Renormalise the completed row across all three states.
+        let row_max = t
+            .m
+            .row_max(i)
+            .max(t.x.row_max(i))
+            .max(t.y.row_max(i));
+        if row_max > 0.0 {
+            let inv = 1.0 / row_max;
+            t.m.scale_row(i, inv);
+            t.x.scale_row(i, inv);
+            t.y.scale_row(i, inv);
+            log_scale[i] = log_scale[i - 1] + row_max.ln();
+        } else {
+            // Entire row is zero: the pair is unalignable.
+            return ScaledForwardResult {
+                log_total: f64::NEG_INFINITY,
+            };
+        }
+    }
+
+    let terminal = t.m.get(n, m) + t.x.get(n, m) + t.y.get(n, m);
+    let log_total = if terminal > 0.0 {
+        terminal.ln() + log_scale[n]
+    } else {
+        f64::NEG_INFINITY
+    };
+    ScaledForwardResult { log_total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::forward;
+
+    fn varied_emit(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| 0.2 + 0.75 * (((i * 29 + j * 13 + 3) % 17) as f64 / 17.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_unscaled_log() {
+        let params = PhmmParams::with_gap_rates(0.04, 0.55, 0.03);
+        for (n, m) in [(1, 1), (3, 4), (10, 10), (25, 27), (60, 62)] {
+            let emit = varied_emit(n, m);
+            let plain = forward(&emit, &params).total;
+            let scaled = scaled_forward(&emit, &params).log_total;
+            assert!(
+                (scaled - plain.ln()).abs() < 1e-9,
+                "{n}x{m}: scaled {scaled} vs ln(plain) {}",
+                plain.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn survives_inputs_that_underflow_the_plain_dp() {
+        // Tiny emissions: even the gap-dominated paths (which avoid all but
+        // one emission) fall below f64's range, so the plain forward
+        // underflows to exactly 0 while the scaled version still reports a
+        // finite log-likelihood.
+        let params = PhmmParams::default();
+        let emit = vec![vec![1e-250; 40]; 40];
+        let plain = forward(&emit, &params).total;
+        assert_eq!(plain, 0.0, "expected underflow in the plain DP");
+        let scaled = scaled_forward(&emit, &params).log_total;
+        assert!(scaled.is_finite());
+        assert!(
+            scaled < -700.0,
+            "log-likelihood should be far below ln(f64::MIN_POSITIVE): {scaled}"
+        );
+    }
+
+    #[test]
+    fn zero_probability_pair_reports_neg_infinity() {
+        let params = PhmmParams::default();
+        let emit = vec![vec![0.0; 3]; 3];
+        assert_eq!(
+            scaled_forward(&emit, &params).log_total,
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn monotone_in_emissions() {
+        let params = PhmmParams::default();
+        let lo = scaled_forward(&vec![vec![0.3; 6]; 6], &params).log_total;
+        let hi = scaled_forward(&vec![vec![0.9; 6]; 6], &params).log_total;
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,113 @@
+//! Illumina-like sequencing error profiles.
+//!
+//! MetaSim's Illumina model (the paper's read generator, ref. \[16\]) has one
+//! defining property: the substitution error rate grows along the read, so
+//! 3'-end bases are markedly less reliable than 5'-end ones. We model the
+//! per-cycle error rate as a linear ramp from `error_start` to `error_end`
+//! and emit Phred qualities that *honestly* describe those rates — which is
+//! exactly the property GNUMAP-SNP's PWM needs to exploit.
+
+use genome::quality::error_prob_to_phred;
+
+/// A per-cycle substitution error model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorProfile {
+    /// Error probability at the first cycle (5' end).
+    pub error_start: f64,
+    /// Error probability at the last cycle (3' end).
+    pub error_end: f64,
+}
+
+impl Default for ErrorProfile {
+    /// Roughly a 2008-era Illumina/Solexa profile: 0.2% at the 5' end
+    /// rising to 2% at the 3' end of the read (mean ≈ 1.1%).
+    fn default() -> Self {
+        ErrorProfile {
+            error_start: 0.002,
+            error_end: 0.02,
+        }
+    }
+}
+
+impl ErrorProfile {
+    /// An idealised error-free profile (useful in tests).
+    pub fn perfect() -> ErrorProfile {
+        ErrorProfile {
+            error_start: 0.0,
+            error_end: 0.0,
+        }
+    }
+
+    /// Error probability at 0-based cycle `i` of a read of length `len`.
+    pub fn error_at(&self, i: usize, len: usize) -> f64 {
+        assert!(i < len, "cycle {i} out of range for read length {len}");
+        if len == 1 {
+            return self.error_start;
+        }
+        let t = i as f64 / (len - 1) as f64;
+        self.error_start + t * (self.error_end - self.error_start)
+    }
+
+    /// The Phred quality honestly describing the error rate at cycle `i`.
+    pub fn quality_at(&self, i: usize, len: usize) -> u8 {
+        error_prob_to_phred(self.error_at(i, len))
+    }
+
+    /// Expected number of errors in a read of length `len`.
+    pub fn expected_errors(&self, len: usize) -> f64 {
+        (0..len).map(|i| self.error_at(i, len)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_endpoints() {
+        let p = ErrorProfile::default();
+        assert!((p.error_at(0, 62) - 0.002).abs() < 1e-12);
+        assert!((p.error_at(61, 62) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_is_monotone() {
+        let p = ErrorProfile::default();
+        let mut last = 0.0;
+        for i in 0..62 {
+            let e = p.error_at(i, 62);
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn qualities_track_error_rates() {
+        let p = ErrorProfile::default();
+        // 0.002 → Q27, 0.02 → Q17.
+        assert_eq!(p.quality_at(0, 62), 27);
+        assert_eq!(p.quality_at(61, 62), 17);
+        assert!(p.quality_at(0, 62) > p.quality_at(61, 62));
+    }
+
+    #[test]
+    fn perfect_profile_has_no_errors() {
+        let p = ErrorProfile::perfect();
+        assert_eq!(p.expected_errors(100), 0.0);
+        assert_eq!(p.quality_at(50, 100), genome::quality::MAX_PHRED);
+    }
+
+    #[test]
+    fn single_base_read() {
+        let p = ErrorProfile::default();
+        assert_eq!(p.error_at(0, 1), 0.002);
+    }
+
+    #[test]
+    fn expected_errors_matches_mean() {
+        let p = ErrorProfile::default();
+        let e = p.expected_errors(62);
+        // Mean of a linear ramp = (start + end)/2 per cycle.
+        assert!((e - 62.0 * 0.011).abs() < 1e-9);
+    }
+}

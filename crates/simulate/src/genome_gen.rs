@@ -1,0 +1,211 @@
+//! Reference genome generation.
+//!
+//! A purely uniform random genome would be the *easiest possible* mapping
+//! target — every 10-mer is essentially unique. Real chromosomes are not
+//! like that: the paper stresses GNUMAP-SNP's behaviour "in repeat regions".
+//! So the generator plants repeat families: a source segment is copied to
+//! several locations (with a light mutation rate per copy, as real
+//! paralogues diverge), creating the multi-mapping ambiguity that
+//! probabilistic mapping exists to handle.
+
+use genome::alphabet::Base;
+use genome::seq::DnaSeq;
+use rand::{Rng, RngExt};
+
+/// Configuration for [`generate_genome`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenomeConfig {
+    /// Total genome length in bases.
+    pub length: usize,
+    /// Target GC fraction of the random background (0..1).
+    pub gc_content: f64,
+    /// Number of repeat families to plant.
+    pub repeat_families: usize,
+    /// Length of each repeat unit.
+    pub repeat_length: usize,
+    /// Copies of each family (including the original).
+    pub repeat_copies: usize,
+    /// Per-base divergence applied independently to each extra copy.
+    pub repeat_divergence: f64,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        GenomeConfig {
+            length: 100_000,
+            gc_content: 0.41, // human-like
+            repeat_families: 4,
+            repeat_length: 300,
+            repeat_copies: 3,
+            repeat_divergence: 0.01,
+        }
+    }
+}
+
+/// Generate a reference genome.
+pub fn generate_genome<R: Rng>(config: &GenomeConfig, rng: &mut R) -> DnaSeq {
+    assert!(config.length > 0, "genome length must be positive");
+    assert!(
+        (0.0..=1.0).contains(&config.gc_content),
+        "gc_content must be a fraction"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.repeat_divergence),
+        "repeat_divergence must be a fraction"
+    );
+
+    // Background: i.i.d. bases at the requested GC content.
+    let mut seq = DnaSeq::with_capacity(config.length);
+    for _ in 0..config.length {
+        seq.push(Some(random_base(config.gc_content, rng)));
+    }
+
+    // Plant repeat families on top of the background.
+    let rl = config.repeat_length.min(config.length);
+    if rl > 0 && config.repeat_copies >= 2 && config.length > rl {
+        for _ in 0..config.repeat_families {
+            let src = rng.random_range(0..=config.length - rl);
+            let unit: Vec<Option<Base>> = (src..src + rl).map(|p| seq.get(p)).collect();
+            for _ in 1..config.repeat_copies {
+                let dst = rng.random_range(0..=config.length - rl);
+                for (off, &b) in unit.iter().enumerate() {
+                    let b = match b {
+                        Some(b) if rng.random_bool(config.repeat_divergence) => {
+                            Some(mutate_base(b, rng))
+                        }
+                        other => other,
+                    };
+                    seq.set(dst + off, b);
+                }
+            }
+        }
+    }
+    seq
+}
+
+/// Draw a base with the given GC fraction.
+fn random_base<R: Rng>(gc: f64, rng: &mut R) -> Base {
+    if rng.random_bool(gc) {
+        if rng.random_bool(0.5) {
+            Base::G
+        } else {
+            Base::C
+        }
+    } else if rng.random_bool(0.5) {
+        Base::A
+    } else {
+        Base::T
+    }
+}
+
+/// Replace `b` with one of the other three bases uniformly.
+pub(crate) fn mutate_base<R: Rng>(b: Base, rng: &mut R) -> Base {
+    let others: [Base; 3] = match b {
+        Base::A => [Base::C, Base::G, Base::T],
+        Base::C => [Base::A, Base::G, Base::T],
+        Base::G => [Base::A, Base::C, Base::T],
+        Base::T => [Base::A, Base::C, Base::G],
+    };
+    others[rng.random_range(0..3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn length_and_no_ns() {
+        let g = generate_genome(&GenomeConfig::default(), &mut rng(1));
+        assert_eq!(g.len(), 100_000);
+        assert_eq!(g.n_count(), 0);
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        let cfg = GenomeConfig {
+            length: 200_000,
+            gc_content: 0.6,
+            repeat_families: 0,
+            ..GenomeConfig::default()
+        };
+        let g = generate_genome(&cfg, &mut rng(2));
+        assert!(
+            (g.gc_fraction() - 0.6).abs() < 0.01,
+            "gc = {}",
+            g.gc_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GenomeConfig::default();
+        let a = generate_genome(&cfg, &mut rng(7));
+        let b = generate_genome(&cfg, &mut rng(7));
+        let c = generate_genome(&cfg, &mut rng(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn repeats_create_duplicate_kmers() {
+        // With aggressive repeats the genome must contain long k-mers that
+        // occur more than once; without repeats, 16-mers in a 50 kb genome
+        // are almost surely unique.
+        use genome::index::{IndexConfig, KmerIndex};
+        let with = GenomeConfig {
+            length: 50_000,
+            repeat_families: 5,
+            repeat_length: 500,
+            repeat_copies: 4,
+            repeat_divergence: 0.0,
+            ..GenomeConfig::default()
+        };
+        let without = GenomeConfig {
+            repeat_families: 0,
+            ..with
+        };
+        let icfg = IndexConfig {
+            k: 16,
+            max_occurrences: 1_000_000,
+            stride: 1,
+        };
+        let g1 = generate_genome(&with, &mut rng(3));
+        let g2 = generate_genome(&without, &mut rng(3));
+        let dup = |g: &genome::seq::DnaSeq| -> usize {
+            let idx = KmerIndex::build(g, icfg).unwrap();
+            idx.total_positions() - idx.distinct_kmers()
+        };
+        let d1 = dup(&g1);
+        let d2 = dup(&g2);
+        assert!(
+            d1 > d2 + 1000,
+            "repeats should create many duplicate 16-mers: {d1} vs {d2}"
+        );
+    }
+
+    #[test]
+    fn mutate_base_never_returns_input() {
+        let mut r = rng(4);
+        for b in genome::alphabet::BASES {
+            for _ in 0..20 {
+                assert_ne!(mutate_base(b, &mut r), b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_rejected() {
+        let cfg = GenomeConfig {
+            length: 0,
+            ..GenomeConfig::default()
+        };
+        let _ = generate_genome(&cfg, &mut rng(0));
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic data substrates for the evaluation pipeline.
+//!
+//! The paper's experiments run on the human X chromosome, a dbSNP-derived
+//! list of 14,501 planted SNPs, and 31 M MetaSim-simulated Illumina 62-bp
+//! reads. None of those inputs ship with this repository, so this crate
+//! generates faithful synthetic equivalents (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`genome_gen`] — reference genomes with tunable GC content and planted
+//!   repeat families (repeats are what make probabilistic mapping
+//!   interesting — multi-mapping reads);
+//! * [`snp`] — SNP catalogues with a realistic transition:transversion
+//!   ratio, applied to produce monoploid or diploid individuals;
+//! * [`reads`] — a MetaSim-style Illumina read simulator: uniform sampling
+//!   from either strand (and either haplotype), a position-dependent error
+//!   profile that worsens toward the 3' end, and Phred quality strings
+//!   consistent with the injected error rates.
+//!
+//! Everything is driven by a caller-supplied seeded RNG, so every
+//! experiment in the bench harness is exactly reproducible.
+
+pub mod error_profile;
+pub mod genome_gen;
+pub mod reads;
+pub mod snp;
+
+pub use error_profile::ErrorProfile;
+pub use genome_gen::{GenomeConfig, generate_genome};
+pub use reads::{simulate_reads, ReadSimConfig};
+pub use snp::{apply_snps_diploid, apply_snps_monoploid, generate_snp_catalog, PlantedSnp, SnpCatalogConfig, Zygosity};

@@ -1,0 +1,428 @@
+//! MetaSim-style Illumina read simulation.
+//!
+//! Reads are sampled uniformly over valid start positions of the source
+//! genome (one haplotype chosen uniformly for diploid individuals), from
+//! either strand with equal probability. Each cycle then suffers a
+//! substitution error with the profile's per-cycle rate, and the emitted
+//! Phred quality string reports those same rates — the generator is honest,
+//! which is what lets the Pair-HMM's quality weighting help.
+
+use crate::error_profile::ErrorProfile;
+use crate::genome_gen::mutate_base;
+use genome::diploid::DiploidGenome;
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use rand::{Rng, RngExt};
+
+/// Configuration for [`simulate_reads`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadSimConfig {
+    /// Read length in bases (the paper simulates 62 bp).
+    pub read_length: usize,
+    /// Mean coverage: expected number of reads overlapping each base.
+    pub coverage: f64,
+    /// Per-cycle substitution error model.
+    pub profile: ErrorProfile,
+    /// Per-cycle probability of inserting a spurious base (not consuming
+    /// a template base). Illumina indel rates are tiny (~1e-4); default 0.
+    pub insertion_rate: f64,
+    /// Per-cycle probability of skipping a template base. Default 0.
+    pub deletion_rate: f64,
+}
+
+impl Default for ReadSimConfig {
+    fn default() -> Self {
+        ReadSimConfig {
+            read_length: 62,
+            coverage: 12.0,
+            profile: ErrorProfile::default(),
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        }
+    }
+}
+
+impl ReadSimConfig {
+    /// Number of reads needed to reach the configured coverage over a
+    /// genome of `genome_len` bases.
+    pub fn read_count(&self, genome_len: usize) -> usize {
+        ((self.coverage * genome_len as f64) / self.read_length as f64).round() as usize
+    }
+}
+
+/// Ground truth about where a simulated read came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOrigin {
+    /// 0-based start of the fragment on the reference coordinate system.
+    pub start: usize,
+    /// Whether the read was taken from the reverse strand.
+    pub reverse: bool,
+    /// Which haplotype it came from (0/1; always 0 for monoploid sources).
+    pub haplotype: usize,
+    /// Number of substitution errors injected.
+    pub errors: usize,
+    /// Number of spurious inserted bases.
+    pub insertions: usize,
+    /// Number of skipped template bases.
+    pub deletions: usize,
+}
+
+/// A simulated read plus its origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedRead {
+    pub read: SequencedRead,
+    pub origin: ReadOrigin,
+}
+
+/// Source of fragments: one sequence or a diploid pair.
+pub enum ReadSource<'a> {
+    Monoploid(&'a DnaSeq),
+    Diploid(&'a DiploidGenome),
+}
+
+impl ReadSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ReadSource::Monoploid(s) => s.len(),
+            ReadSource::Diploid(d) => d.len(),
+        }
+    }
+
+    fn haplotype(&self, which: usize) -> &DnaSeq {
+        match self {
+            ReadSource::Monoploid(s) => s,
+            ReadSource::Diploid(d) => d.haplotype(which),
+        }
+    }
+
+    fn n_haplotypes(&self) -> usize {
+        match self {
+            ReadSource::Monoploid(_) => 1,
+            ReadSource::Diploid(_) => 2,
+        }
+    }
+}
+
+/// Simulate `count` reads from `source`.
+pub fn simulate_reads<R: Rng>(
+    source: &ReadSource<'_>,
+    count: usize,
+    config: &ReadSimConfig,
+    rng: &mut R,
+) -> Vec<SimulatedRead> {
+    let len = source.len();
+    assert!(
+        len >= config.read_length,
+        "genome ({len}) shorter than read length ({})",
+        config.read_length
+    );
+    // With deletions the read consumes more template than its length;
+    // fetch a fragment with slack so the template never runs dry.
+    let has_indels = config.insertion_rate > 0.0 || config.deletion_rate > 0.0;
+    let slack = if has_indels {
+        (config.read_length / 4).max(8)
+    } else {
+        0
+    };
+    assert!(
+        len >= config.read_length + slack,
+        "genome too short for read length plus indel slack"
+    );
+    let max_start = len - config.read_length - slack;
+    let mut out = Vec::with_capacity(count);
+    for idx in 0..count {
+        let start = rng.random_range(0..=max_start);
+        let haplotype = if source.n_haplotypes() == 2 {
+            rng.random_range(0..2)
+        } else {
+            0
+        };
+        let reverse = rng.random_bool(0.5);
+        let fragment = source
+            .haplotype(haplotype)
+            .window(start, start + config.read_length + slack);
+        let fragment = if reverse {
+            fragment.reverse_complement()
+        } else {
+            fragment
+        };
+
+        // Walk the template applying per-cycle substitutions and indels,
+        // emitting matching qualities.
+        let mut seq = DnaSeq::with_capacity(config.read_length);
+        let mut quals = Vec::with_capacity(config.read_length);
+        let mut errors = 0usize;
+        let mut insertions = 0usize;
+        let mut deletions = 0usize;
+        let mut template = 0usize; // next template position to consume
+        while seq.len() < config.read_length {
+            let i = seq.len();
+            if has_indels && rng.random_bool(config.insertion_rate) {
+                // Spurious base: emit without consuming template.
+                insertions += 1;
+                let random = genome::alphabet::Base::from_index(rng.random_range(0..4));
+                seq.push(Some(random));
+                quals.push(config.profile.quality_at(i, config.read_length));
+                continue;
+            }
+            if has_indels && template < fragment.len() && rng.random_bool(config.deletion_rate)
+            {
+                deletions += 1;
+                template += 1;
+                continue;
+            }
+            let b = if template < fragment.len() {
+                fragment.get(template)
+            } else {
+                None // ran past the slack: emit an N
+            };
+            template += 1;
+            let e = config.profile.error_at(i, config.read_length);
+            let b = match b {
+                Some(b) if e > 0.0 && rng.random_bool(e) => {
+                    errors += 1;
+                    Some(mutate_base(b, rng))
+                }
+                other => other,
+            };
+            seq.push(b);
+            quals.push(config.profile.quality_at(i, config.read_length));
+        }
+
+        let read = SequencedRead::new(format!("sim_{idx}"), seq, quals)
+            .expect("generator emits matching lengths");
+        out.push(SimulatedRead {
+            read,
+            origin: ReadOrigin {
+                start,
+                reverse,
+                haplotype,
+                errors,
+                insertions,
+                deletions,
+            },
+        });
+    }
+    out
+}
+
+/// Convenience: simulate to a target coverage instead of a count.
+pub fn simulate_to_coverage<R: Rng>(
+    source: &ReadSource<'_>,
+    config: &ReadSimConfig,
+    rng: &mut R,
+) -> Vec<SimulatedRead> {
+    let count = config.read_count(source.len());
+    simulate_reads(source, count, config, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome_gen::{generate_genome, GenomeConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn test_genome(len: usize) -> DnaSeq {
+        generate_genome(
+            &GenomeConfig {
+                length: len,
+                repeat_families: 0,
+                ..GenomeConfig::default()
+            },
+            &mut rng(42),
+        )
+    }
+
+    #[test]
+    fn read_count_matches_coverage() {
+        let cfg = ReadSimConfig::default();
+        // 12x over 62_000 bases at 62 bp → 12_000 reads.
+        assert_eq!(cfg.read_count(62_000), 12_000);
+    }
+
+    #[test]
+    fn error_free_reads_match_their_origin() {
+        let g = test_genome(2_000);
+        let cfg = ReadSimConfig {
+            read_length: 50,
+            coverage: 5.0,
+            profile: ErrorProfile::perfect(),
+            ..Default::default()
+        };
+        let reads = simulate_reads(&ReadSource::Monoploid(&g), 100, &cfg, &mut rng(1));
+        assert_eq!(reads.len(), 100);
+        for sr in &reads {
+            assert_eq!(sr.origin.errors, 0);
+            let frag = g.window(sr.origin.start, sr.origin.start + 50);
+            let expect = if sr.origin.reverse {
+                frag.reverse_complement()
+            } else {
+                frag
+            };
+            assert_eq!(sr.read.seq, expect, "read must equal its source fragment");
+        }
+    }
+
+    #[test]
+    fn error_rate_matches_profile() {
+        let g = test_genome(5_000);
+        let cfg = ReadSimConfig {
+            read_length: 62,
+            coverage: 1.0,
+            profile: ErrorProfile::default(),
+            ..Default::default()
+        };
+        let reads = simulate_reads(&ReadSource::Monoploid(&g), 2_000, &cfg, &mut rng(2));
+        let total_errors: usize = reads.iter().map(|r| r.origin.errors).sum();
+        let expected = 2_000.0 * cfg.profile.expected_errors(62);
+        let ratio = total_errors as f64 / expected;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "observed/expected error ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn strands_and_starts_are_roughly_uniform() {
+        let g = test_genome(1_000);
+        let cfg = ReadSimConfig {
+            read_length: 100,
+            coverage: 1.0,
+            profile: ErrorProfile::perfect(),
+            ..Default::default()
+        };
+        let reads = simulate_reads(&ReadSource::Monoploid(&g), 4_000, &cfg, &mut rng(3));
+        let reversed = reads.iter().filter(|r| r.origin.reverse).count();
+        assert!((1800..2200).contains(&reversed), "reverse count {reversed}");
+        let early = reads.iter().filter(|r| r.origin.start < 450).count();
+        assert!((1700..2300).contains(&early), "early-start count {early}");
+    }
+
+    #[test]
+    fn diploid_reads_sample_both_haplotypes() {
+        let g = test_genome(3_000);
+        let d = genome::diploid::DiploidGenome::homozygous(g);
+        let cfg = ReadSimConfig {
+            read_length: 62,
+            coverage: 1.0,
+            profile: ErrorProfile::perfect(),
+            ..Default::default()
+        };
+        let reads = simulate_reads(&ReadSource::Diploid(&d), 1_000, &cfg, &mut rng(4));
+        let hap1 = reads.iter().filter(|r| r.origin.haplotype == 1).count();
+        assert!((400..600).contains(&hap1), "haplotype-1 count {hap1}");
+    }
+
+    #[test]
+    fn qualities_are_the_profile_ramp() {
+        let g = test_genome(500);
+        let cfg = ReadSimConfig::default();
+        let reads = simulate_reads(&ReadSource::Monoploid(&g), 3, &cfg, &mut rng(5));
+        for sr in &reads {
+            for (i, &q) in sr.read.quals.iter().enumerate() {
+                assert_eq!(q, cfg.profile.quality_at(i, cfg.read_length));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = test_genome(1_000);
+        let cfg = ReadSimConfig::default();
+        let a = simulate_reads(&ReadSource::Monoploid(&g), 50, &cfg, &mut rng(6));
+        let b = simulate_reads(&ReadSource::Monoploid(&g), 50, &cfg, &mut rng(6));
+        assert_eq!(a, b);
+    }
+
+
+    #[test]
+    fn indel_rates_are_respected() {
+        let g = test_genome(20_000);
+        let cfg = ReadSimConfig {
+            read_length: 62,
+            coverage: 1.0,
+            profile: ErrorProfile::perfect(),
+            insertion_rate: 0.01,
+            deletion_rate: 0.02,
+        };
+        let reads = simulate_reads(&ReadSource::Monoploid(&g), 3_000, &cfg, &mut rng(21));
+        let total_ins: usize = reads.iter().map(|r| r.origin.insertions).sum();
+        let total_del: usize = reads.iter().map(|r| r.origin.deletions).sum();
+        let cycles = 3_000.0 * 62.0;
+        let ins_rate = total_ins as f64 / cycles;
+        let del_rate = total_del as f64 / cycles;
+        assert!((ins_rate - 0.01).abs() < 0.003, "insertion rate {ins_rate}");
+        assert!((del_rate - 0.02).abs() < 0.005, "deletion rate {del_rate}");
+        // Read lengths stay fixed regardless of indels.
+        assert!(reads.iter().all(|r| r.read.len() == 62));
+    }
+
+    #[test]
+    fn zero_indel_rates_reproduce_the_old_generator() {
+        let g = test_genome(2_000);
+        let cfg = ReadSimConfig {
+            read_length: 50,
+            coverage: 5.0,
+            profile: ErrorProfile::perfect(),
+            ..Default::default()
+        };
+        let reads = simulate_reads(&ReadSource::Monoploid(&g), 200, &cfg, &mut rng(22));
+        for sr in &reads {
+            assert_eq!(sr.origin.insertions, 0);
+            assert_eq!(sr.origin.deletions, 0);
+            let frag = g.window(sr.origin.start, sr.origin.start + 50);
+            let expect = if sr.origin.reverse {
+                frag.reverse_complement()
+            } else {
+                frag
+            };
+            assert_eq!(sr.read.seq, expect);
+        }
+    }
+
+    #[test]
+    fn deletion_reads_match_template_with_skips() {
+        let g = test_genome(5_000);
+        let cfg = ReadSimConfig {
+            read_length: 40,
+            coverage: 1.0,
+            profile: ErrorProfile::perfect(),
+            insertion_rate: 0.0,
+            deletion_rate: 0.05,
+        };
+        let reads = simulate_reads(&ReadSource::Monoploid(&g), 400, &cfg, &mut rng(23));
+        // A read with d deletions consumes 40 + d template bases; verify a
+        // deletion-bearing forward read aligns to its template with skips.
+        let with_del = reads
+            .iter()
+            .find(|r| r.origin.deletions > 0 && !r.origin.reverse)
+            .expect("some forward read should carry a deletion");
+        let d = with_del.origin.deletions;
+        let template = g.window(
+            with_del.origin.start,
+            with_del.origin.start + 40 + d,
+        );
+        // Every read base must appear in the template in order (subsequence).
+        let mut t = 0usize;
+        for b in with_del.read.seq.iter() {
+            while t < template.len() && template.get(t) != b {
+                t += 1;
+            }
+            assert!(t < template.len(), "read is not a subsequence of its template");
+            t += 1;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn genome_shorter_than_read_rejected() {
+        let g = test_genome(30);
+        let cfg = ReadSimConfig::default(); // 62 bp reads
+        let _ = simulate_reads(&ReadSource::Monoploid(&g), 1, &cfg, &mut rng(7));
+    }
+}

@@ -1,0 +1,315 @@
+//! SNP catalogues and mutated individuals.
+//!
+//! The paper's truth set is 14,501 dbSNP sites "randomly selected,
+//! evenly-spaced" across the X chromosome, applied to the reference to
+//! create the simulated individual. This module reproduces that recipe:
+//! sites are drawn evenly spaced (with jitter), alternate alleles follow a
+//! transition:transversion ratio of about 2:1 (as in real catalogues), and
+//! the catalogue can be applied to produce a monoploid individual or a
+//! diploid one with a chosen heterozygous fraction.
+
+use genome::alphabet::Base;
+use genome::diploid::DiploidGenome;
+use genome::seq::DnaSeq;
+use rand::{Rng, RngExt};
+
+/// Zygosity of a planted diploid SNP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Zygosity {
+    /// Both haplotypes carry the alternate allele.
+    Homozygous,
+    /// One haplotype carries the alternate allele, the other the reference.
+    Heterozygous,
+}
+
+/// One planted SNP: the ground truth the callers are scored against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedSnp {
+    /// 0-based position on the reference.
+    pub pos: usize,
+    /// Reference base at the site.
+    pub reference: Base,
+    /// Alternate allele.
+    pub alt: Base,
+    /// Zygosity when applied to a diploid individual (monoploid
+    /// application ignores this and always plants the alternate).
+    pub zygosity: Zygosity,
+}
+
+/// Configuration for [`generate_snp_catalog`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnpCatalogConfig {
+    /// Number of SNPs to plant.
+    pub count: usize,
+    /// Probability that a substitution is a transition (dbSNP-like: ~2/3,
+    /// i.e. a 2:1 transition:transversion ratio).
+    pub transition_fraction: f64,
+    /// Fraction of sites that are heterozygous in the diploid individual.
+    pub heterozygous_fraction: f64,
+}
+
+impl Default for SnpCatalogConfig {
+    fn default() -> Self {
+        SnpCatalogConfig {
+            count: 100,
+            transition_fraction: 2.0 / 3.0,
+            heterozygous_fraction: 0.5,
+        }
+    }
+}
+
+/// Draw an evenly spaced (with jitter) SNP catalogue over `reference`.
+///
+/// Sites fall one per stripe of width `len / count`, jittered uniformly
+/// within the stripe, skipping `N` positions. Positions are strictly
+/// increasing, so no two SNPs collide.
+pub fn generate_snp_catalog<R: Rng>(
+    reference: &DnaSeq,
+    config: &SnpCatalogConfig,
+    rng: &mut R,
+) -> Vec<PlantedSnp> {
+    assert!(config.count > 0, "catalogue must contain at least one SNP");
+    assert!(
+        reference.len() >= config.count,
+        "genome shorter than requested SNP count"
+    );
+    let stripe = reference.len() as f64 / config.count as f64;
+    let mut snps = Vec::with_capacity(config.count);
+    for i in 0..config.count {
+        let lo = (i as f64 * stripe) as usize;
+        let hi = (((i + 1) as f64 * stripe) as usize).min(reference.len());
+        if lo >= hi {
+            continue;
+        }
+        // Jitter within the stripe; retry a few times to dodge N positions.
+        let mut site = None;
+        for _ in 0..16 {
+            let pos = rng.random_range(lo..hi);
+            if let Some(b) = reference.get(pos) {
+                site = Some((pos, b));
+                break;
+            }
+        }
+        let Some((pos, reference_base)) = site else {
+            continue;
+        };
+        let alt = if rng.random_bool(config.transition_fraction) {
+            reference_base.transition()
+        } else {
+            let tv = reference_base.transversions();
+            tv[rng.random_range(0..2)]
+        };
+        let zygosity = if rng.random_bool(config.heterozygous_fraction) {
+            Zygosity::Heterozygous
+        } else {
+            Zygosity::Homozygous
+        };
+        snps.push(PlantedSnp {
+            pos,
+            reference: reference_base,
+            alt,
+            zygosity,
+        });
+    }
+    snps
+}
+
+/// Apply a catalogue to produce a monoploid individual: every site carries
+/// its alternate allele.
+pub fn apply_snps_monoploid(reference: &DnaSeq, snps: &[PlantedSnp]) -> DnaSeq {
+    let mut individual = reference.clone();
+    for snp in snps {
+        debug_assert_eq!(reference.get(snp.pos), Some(snp.reference));
+        individual.set(snp.pos, Some(snp.alt));
+    }
+    individual
+}
+
+/// Apply a catalogue to produce a diploid individual. Homozygous sites
+/// mutate both haplotypes; heterozygous sites mutate one chosen by the RNG.
+pub fn apply_snps_diploid<R: Rng>(
+    reference: &DnaSeq,
+    snps: &[PlantedSnp],
+    rng: &mut R,
+) -> DiploidGenome {
+    let mut maternal = reference.clone();
+    let mut paternal = reference.clone();
+    for snp in snps {
+        debug_assert_eq!(reference.get(snp.pos), Some(snp.reference));
+        match snp.zygosity {
+            Zygosity::Homozygous => {
+                maternal.set(snp.pos, Some(snp.alt));
+                paternal.set(snp.pos, Some(snp.alt));
+            }
+            Zygosity::Heterozygous => {
+                if rng.random_bool(0.5) {
+                    maternal.set(snp.pos, Some(snp.alt));
+                } else {
+                    paternal.set(snp.pos, Some(snp.alt));
+                }
+            }
+        }
+    }
+    DiploidGenome::new(maternal, paternal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome_gen::{generate_genome, GenomeConfig};
+    use genome::alphabet::{classify_substitution, Substitution};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn test_genome(len: usize, seed: u64) -> DnaSeq {
+        generate_genome(
+            &GenomeConfig {
+                length: len,
+                repeat_families: 0,
+                ..GenomeConfig::default()
+            },
+            &mut rng(seed),
+        )
+    }
+
+    #[test]
+    fn catalogue_counts_and_ordering() {
+        let g = test_genome(10_000, 1);
+        let snps = generate_snp_catalog(
+            &g,
+            &SnpCatalogConfig {
+                count: 100,
+                ..SnpCatalogConfig::default()
+            },
+            &mut rng(2),
+        );
+        assert_eq!(snps.len(), 100);
+        for w in snps.windows(2) {
+            assert!(w[0].pos < w[1].pos, "positions must be strictly increasing");
+        }
+        for s in &snps {
+            assert_eq!(g.get(s.pos), Some(s.reference));
+            assert_ne!(s.reference, s.alt);
+        }
+    }
+
+    #[test]
+    fn spacing_is_roughly_even() {
+        let g = test_genome(50_000, 3);
+        let snps = generate_snp_catalog(
+            &g,
+            &SnpCatalogConfig {
+                count: 50,
+                ..SnpCatalogConfig::default()
+            },
+            &mut rng(4),
+        );
+        // Every stripe of width 1000 holds exactly one SNP.
+        for (i, s) in snps.iter().enumerate() {
+            assert!(s.pos >= i * 1000 && s.pos < (i + 1) * 1000);
+        }
+    }
+
+    #[test]
+    fn transition_ratio_is_respected() {
+        let g = test_genome(300_000, 5);
+        let snps = generate_snp_catalog(
+            &g,
+            &SnpCatalogConfig {
+                count: 3000,
+                transition_fraction: 2.0 / 3.0,
+                heterozygous_fraction: 0.5,
+            },
+            &mut rng(6),
+        );
+        let transitions = snps
+            .iter()
+            .filter(|s| {
+                classify_substitution(s.reference, s.alt) == Some(Substitution::Transition)
+            })
+            .count();
+        let frac = transitions as f64 / snps.len() as f64;
+        assert!(
+            (frac - 2.0 / 3.0).abs() < 0.03,
+            "transition fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn monoploid_application_differs_exactly_at_snps() {
+        let g = test_genome(5_000, 7);
+        let snps = generate_snp_catalog(
+            &g,
+            &SnpCatalogConfig {
+                count: 25,
+                ..SnpCatalogConfig::default()
+            },
+            &mut rng(8),
+        );
+        let ind = apply_snps_monoploid(&g, &snps);
+        let diffs: Vec<usize> = (0..g.len()).filter(|&p| g.get(p) != ind.get(p)).collect();
+        let expected: Vec<usize> = snps.iter().map(|s| s.pos).collect();
+        assert_eq!(diffs, expected);
+        for s in &snps {
+            assert_eq!(ind.get(s.pos), Some(s.alt));
+        }
+    }
+
+    #[test]
+    fn diploid_application_respects_zygosity() {
+        let g = test_genome(20_000, 9);
+        let snps = generate_snp_catalog(
+            &g,
+            &SnpCatalogConfig {
+                count: 200,
+                heterozygous_fraction: 0.5,
+                ..SnpCatalogConfig::default()
+            },
+            &mut rng(10),
+        );
+        let d = apply_snps_diploid(&g, &snps, &mut rng(11));
+        let mut het_seen = 0;
+        for s in &snps {
+            let m = d.maternal.get(s.pos);
+            let p = d.paternal.get(s.pos);
+            match s.zygosity {
+                Zygosity::Homozygous => {
+                    assert_eq!(m, Some(s.alt));
+                    assert_eq!(p, Some(s.alt));
+                }
+                Zygosity::Heterozygous => {
+                    het_seen += 1;
+                    let pair = (m, p);
+                    assert!(
+                        pair == (Some(s.alt), Some(s.reference))
+                            || pair == (Some(s.reference), Some(s.alt)),
+                        "het site {pair:?}"
+                    );
+                }
+            }
+        }
+        assert!(het_seen > 50, "expected a het fraction near one half");
+        // Outside SNP sites the haplotypes equal the reference.
+        let snp_positions: std::collections::HashSet<usize> =
+            snps.iter().map(|s| s.pos).collect();
+        for p in (0..g.len()).step_by(97) {
+            if !snp_positions.contains(&p) {
+                assert_eq!(d.maternal.get(p), g.get(p));
+                assert_eq!(d.paternal.get(p), g.get(p));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = test_genome(10_000, 12);
+        let cfg = SnpCatalogConfig::default();
+        let a = generate_snp_catalog(&g, &cfg, &mut rng(13));
+        let b = generate_snp_catalog(&g, &cfg, &mut rng(13));
+        assert_eq!(a, b);
+    }
+}

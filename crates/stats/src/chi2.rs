@@ -1,0 +1,200 @@
+//! The chi-squared distribution.
+//!
+//! The paper's asymptotic result `-2 log λ(z) → χ²₁` converts LRT statistics
+//! to p-values, and SNP cutoffs compare the statistic to the `(1 - α/5)`
+//! quantile of `χ²₁` (the α/5 correction accounts for testing each of the
+//! five symbols against the background).
+
+use crate::special::{reg_gamma_lower, reg_gamma_upper};
+
+/// Chi-squared distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Construct with `k` degrees of freedom (`k > 0`, need not be integer).
+    pub fn new(k: f64) -> ChiSquared {
+        assert!(k > 0.0 && k.is_finite(), "degrees of freedom must be > 0");
+        ChiSquared { k }
+    }
+
+    /// The paper's workhorse: one degree of freedom.
+    pub fn one() -> ChiSquared {
+        ChiSquared { k: 1.0 }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+
+    /// `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            reg_gamma_lower(self.k / 2.0, x / 2.0)
+        }
+    }
+
+    /// Survival function `P(X > x)` — the p-value of an observed LRT
+    /// statistic. Computed through the upper incomplete gamma so extreme
+    /// tails keep relative precision.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            reg_gamma_upper(self.k / 2.0, x / 2.0)
+        }
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 || (x == 0.0 && self.k < 2.0) {
+            return if x == 0.0 && self.k < 2.0 { f64::INFINITY } else { 0.0 };
+        }
+        if x == 0.0 {
+            return if self.k == 2.0 { 0.5 } else { 0.0 };
+        }
+        let half_k = self.k / 2.0;
+        ((half_k - 1.0) * x.ln() - x / 2.0 - half_k * 2f64.ln() - crate::special::ln_gamma(half_k))
+            .exp()
+    }
+
+    /// Quantile (inverse CDF): the smallest `x` with `cdf(x) >= p`.
+    ///
+    /// Solved by bisection refined with Newton steps; accurate to ~1e-12
+    /// relative. `p` must lie in `[0, 1)`; `p = 0` returns 0.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1), got {p}");
+        if p == 0.0 {
+            return 0.0;
+        }
+        // Bracket: mean + enough standard deviations, grown until it covers p.
+        let mut lo = 0.0f64;
+        let mut hi = self.k + 10.0 * (2.0 * self.k).sqrt() + 10.0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+        }
+        // Bisection to a rough root, then Newton polish.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-14 * hi.max(1.0) {
+                break;
+            }
+        }
+        let mut x = 0.5 * (lo + hi);
+        for _ in 0..4 {
+            let f = self.cdf(x) - p;
+            let d = self.pdf(x);
+            if d > 0.0 && d.is_finite() {
+                let step = f / d;
+                let next = x - step;
+                if next > 0.0 && next.is_finite() {
+                    x = next;
+                }
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "{a} != {b} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn chi2_1_reference_values() {
+        // Reference values from R: pchisq(x, df = 1).
+        let d = ChiSquared::one();
+        close(d.cdf(1.0), 0.682_689_492_137_086, 1e-12);
+        close(d.cdf(3.841_458_820_694_124), 0.95, 1e-12);
+        close(d.cdf(6.634_896_601_021_213), 0.99, 1e-12);
+        close(d.sf(10.827_566_170_662_733), 1e-3, 1e-9);
+    }
+
+    #[test]
+    fn chi2_2_is_exponential() {
+        // χ²₂ is Exp(1/2): CDF = 1 - e^{-x/2}.
+        let d = ChiSquared::new(2.0);
+        for &x in &[0.3, 1.0, 4.0, 12.0] {
+            close(d.cdf(x), 1.0 - (-x / 2.0).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &k in &[1.0, 2.0, 5.0, 17.0] {
+            let d = ChiSquared::new(k);
+            for &p in &[0.001, 0.05, 0.5, 0.95, 0.999, 0.999_999] {
+                close(d.cdf(d.quantile(p)), p, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_cutoff_alpha_over_five() {
+        // The paper compares -2 log λ with the (1 - α/5) quantile of χ²₁.
+        // For α = 0.05 that is the 0.99 quantile ≈ 6.6349.
+        let d = ChiSquared::one();
+        close(d.quantile(1.0 - 0.05 / 5.0), 6.634_896_601_021_213, 1e-10);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let d = ChiSquared::new(3.0);
+        for &x in &[0.1, 1.0, 5.0, 25.0] {
+            close(d.cdf(x) + d.sf(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        // Trapezoid integral of the pdf matches the CDF increment.
+        let d = ChiSquared::new(4.0);
+        let (a, b) = (1.0, 6.0);
+        let n = 20_000;
+        let h = (b - a) / n as f64;
+        let mut integral = 0.5 * (d.pdf(a) + d.pdf(b));
+        for i in 1..n {
+            integral += d.pdf(a + i as f64 * h);
+        }
+        integral *= h;
+        close(integral, d.cdf(b) - d.cdf(a), 1e-8);
+    }
+
+    #[test]
+    fn negative_arguments() {
+        let d = ChiSquared::one();
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.sf(-1.0), 1.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn extreme_tail_quantile() {
+        let d = ChiSquared::one();
+        // qchisq(1 - 1e-10, 1) ≈ 41.8214628
+        close(d.quantile(1.0 - 1e-10), 41.821_462_8, 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_p_one() {
+        let _ = ChiSquared::one().quantile(1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Benjamini–Hochberg false-discovery-rate control.
+//!
+//! The paper offers "a p-value cutoff or a false discovery control" as the
+//! SNP-calling decision rule; this module is the latter. Given the p-values
+//! of every testable genome position, BH at level `q` finds the largest k
+//! such that `p_(k) <= (k/m)·q` and rejects the k smallest p-values.
+
+/// The BH rejection threshold for p-values `pvals` at FDR level `q`.
+///
+/// Returns `None` when nothing can be rejected. The threshold is the
+/// largest order statistic satisfying the BH condition; callers reject every
+/// p-value `<=` the returned threshold.
+pub fn bh_threshold(pvals: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "FDR level must be in [0,1]");
+    if pvals.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = pvals.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("p-values must not be NaN"));
+    let m = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(i, &p)| p <= ((i + 1) as f64 / m) * q)
+        .map(|(_, &p)| p)
+}
+
+/// Indices of the hypotheses rejected by BH at level `q`, in input order.
+pub fn benjamini_hochberg(pvals: &[f64], q: f64) -> Vec<usize> {
+    match bh_threshold(pvals, q) {
+        None => Vec::new(),
+        Some(thresh) => pvals
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p <= thresh)
+            .map(|(i, _)| i)
+            .collect(),
+    }
+}
+
+/// BH-adjusted p-values ("q-values"): `p_adj_(i) = min over j >= i of
+/// (m / j) · p_(j)`, clipped at 1. Rejecting `p_adj <= q` is equivalent to
+/// [`benjamini_hochberg`] at level `q`.
+pub fn bh_adjust(pvals: &[f64]) -> Vec<f64> {
+    let m = pvals.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| pvals[a].partial_cmp(&pvals[b]).expect("NaN p-value"));
+    let mut adjusted = vec![0.0; m];
+    let mut running_min = 1.0f64;
+    for rank in (0..m).rev() {
+        let idx = order[rank];
+        let scaled = pvals[idx] * m as f64 / (rank + 1) as f64;
+        running_min = running_min.min(scaled);
+        adjusted[idx] = running_min.min(1.0);
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Classic BH worked example at q = 0.05.
+        let p = [0.01, 0.04, 0.03, 0.005, 0.55, 0.3];
+        // sorted: 0.005, 0.01, 0.03, 0.04, 0.3, 0.55; thresholds k/6*0.05:
+        // 0.0083, 0.0167, 0.025, 0.033, 0.0417, 0.05 → largest k with
+        // p_(k) <= thr is k=2 (0.01 <= 0.0167).
+        assert_eq!(bh_threshold(&p, 0.05), Some(0.01));
+        assert_eq!(benjamini_hochberg(&p, 0.05), vec![0, 3]);
+    }
+
+    #[test]
+    fn rejects_nothing_when_all_large() {
+        let p = [0.9, 0.5, 0.7];
+        assert_eq!(bh_threshold(&p, 0.05), None);
+        assert!(benjamini_hochberg(&p, 0.05).is_empty());
+    }
+
+    #[test]
+    fn rejects_everything_when_all_tiny() {
+        let p = [1e-8, 1e-9, 1e-7];
+        assert_eq!(benjamini_hochberg(&p, 0.05), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(bh_threshold(&[], 0.1), None);
+        assert!(benjamini_hochberg(&[], 0.1).is_empty());
+        assert!(bh_adjust(&[]).is_empty());
+    }
+
+    #[test]
+    fn adjusted_p_equivalence() {
+        // Rejecting adj <= q must equal the direct BH rejection set.
+        let p = [0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205, 0.5, 0.99];
+        for &q in &[0.01, 0.05, 0.1, 0.25] {
+            let direct: Vec<usize> = benjamini_hochberg(&p, q);
+            let adj = bh_adjust(&p);
+            let via_adj: Vec<usize> = (0..p.len()).filter(|&i| adj[i] <= q).collect();
+            assert_eq!(direct, via_adj, "mismatch at q={q}");
+        }
+    }
+
+    #[test]
+    fn adjusted_ps_are_monotone_in_raw_order() {
+        let p = [0.04, 0.001, 0.2, 0.03];
+        let adj = bh_adjust(&p);
+        // Sorting raw ps must sort adjusted ps identically.
+        let mut idx: Vec<usize> = (0..4).collect();
+        idx.sort_by(|&a, &b| p[a].partial_cmp(&p[b]).unwrap());
+        for w in idx.windows(2) {
+            assert!(adj[w[0]] <= adj[w[1]]);
+        }
+        assert!(adj.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn never_rejects_above_threshold_property() {
+        // The DESIGN.md invariant: every rejected p-value is <= the BH
+        // threshold, every kept one above it.
+        let p = [0.002, 0.009, 0.012, 0.021, 0.033, 0.26, 0.44, 0.71];
+        let q = 0.05;
+        if let Some(t) = bh_threshold(&p, q) {
+            let rejected = benjamini_hochberg(&p, q);
+            for (i, &pi) in p.iter().enumerate() {
+                assert_eq!(rejected.contains(&i), pi <= t);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_q_rejected() {
+        let _ = bh_threshold(&[0.5], 1.5);
+    }
+}

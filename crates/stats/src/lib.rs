@@ -1,0 +1,26 @@
+//! Statistical substrate for GNUMAP-SNP.
+//!
+//! The paper's SNP caller rests on three statistical pieces, all implemented
+//! here from scratch (no external math crates):
+//!
+//! * gamma-family special functions ([`special`]) — Lanczos log-gamma and
+//!   the regularized incomplete gamma functions `P(a, x)` / `Q(a, x)`;
+//! * the chi-squared distribution ([`chi2`]) — CDF, survival function and
+//!   quantile, used to turn `-2 log λ` into p-values and cutoffs;
+//! * the likelihood ratio tests themselves ([`lrt`]) — monoploid
+//!   (Equation 1) and diploid (Equation 2) hypotheses over the continuous
+//!   negative-multinomial base-count vector `z`;
+//! * Benjamini–Hochberg false-discovery-rate control ([`fdr`]), the "FDR
+//!   control" cutoff the paper offers alongside raw p-values.
+
+pub mod chi2;
+pub mod fdr;
+pub mod lrt;
+pub mod negmult;
+pub mod special;
+
+pub use chi2::ChiSquared;
+pub use fdr::{benjamini_hochberg, bh_threshold};
+pub use lrt::{diploid_lrt, monoploid_lrt, BaseCounts, LrtOutcome, Ploidy};
+pub use negmult::NegativeMultinomial;
+pub use special::{ln_gamma, reg_gamma_lower, reg_gamma_upper};

@@ -1,0 +1,365 @@
+//! The paper's likelihood ratio tests (Section V-C / VI Step 3).
+//!
+//! At each genome position the mapper accumulates a continuous count vector
+//! `z = (z_A, z_C, z_G, z_T, z_gap)`. Under the null every symbol is equally
+//! likely (`p_k = 0.2` — pure background noise); the alternatives say one
+//! (monoploid, Equation 1) or one-or-two (diploid, Equation 2) symbols stand
+//! above the background. The LRT statistic is
+//!
+//! ```text
+//! λ(z) = 0.2^n / max over H1 MLEs of ∏ p̂_k^{z_k},   -2 log λ → χ²₁
+//! ```
+//!
+//! and significance uses the `(1 - α/5)` χ²₁ quantile — equivalently an
+//! adjusted p-value of `5 · SF(-2 log λ)` — because each of the five symbols
+//! is implicitly tested against the background.
+
+use crate::chi2::ChiSquared;
+
+/// Number of tracked symbols (A, C, G, T, gap).
+pub const NUM_SYMBOLS: usize = 5;
+
+/// The continuous per-position count vector `z`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BaseCounts(pub [f64; NUM_SYMBOLS]);
+
+impl BaseCounts {
+    /// Construct from raw counts; panics on negative or non-finite entries.
+    pub fn new(z: [f64; NUM_SYMBOLS]) -> BaseCounts {
+        for (i, &v) in z.iter().enumerate() {
+            assert!(
+                v >= 0.0 && v.is_finite(),
+                "count {i} must be finite and non-negative, got {v}"
+            );
+        }
+        BaseCounts(z)
+    }
+
+    /// Total mass `n = Σ z_k`.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Symbol indices sorted by decreasing count (ties broken by index, so
+    /// the ordering is deterministic).
+    pub fn order_desc(&self) -> [usize; NUM_SYMBOLS] {
+        let mut idx = [0usize, 1, 2, 3, 4];
+        idx.sort_by(|&a, &b| {
+            self.0[b]
+                .partial_cmp(&self.0[a])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Index of the largest count.
+    pub fn argmax(&self) -> usize {
+        self.order_desc()[0]
+    }
+}
+
+/// Which alternative hypothesis maximised the diploid likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alternative {
+    /// One symbol above background (homozygous in the diploid test).
+    OneBase,
+    /// Two symbols above background (heterozygous); only produced by
+    /// [`diploid_lrt`].
+    TwoBases,
+}
+
+/// Ploidy model selecting which LRT to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ploidy {
+    #[default]
+    Monoploid,
+    Diploid,
+}
+
+/// Result of a likelihood ratio test at one position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrtOutcome {
+    /// `-2 log λ(z)`, the asymptotically χ²₁ statistic.
+    pub statistic: f64,
+    /// Raw tail probability `SF(statistic)` under χ²₁.
+    pub p_raw: f64,
+    /// Multiplicity-adjusted p-value `min(1, 5 · p_raw)`, the quantity the
+    /// paper compares with α.
+    pub p_adjusted: f64,
+    /// Symbol index (0=A .. 4=gap) with the highest count.
+    pub best: usize,
+    /// Symbol index with the second-highest count.
+    pub second: usize,
+    /// Which alternative won (always `OneBase` for monoploid).
+    pub alternative: Alternative,
+    /// Diploid only: adjusted p-value of the *secondary* LRT between the
+    /// heterozygous and homozygous alternatives (`2·(ℓ_het − ℓ_mono)` vs
+    /// χ²₁, ×5 multiplicity). This is the evidence that the second allele
+    /// is real — a caller claiming a site is heterozygous-reference must
+    /// gate on this, not on the (trivially tiny) test against the uniform
+    /// background. `None` for monoploid tests.
+    pub p_het_adjusted: Option<f64>,
+}
+
+impl LrtOutcome {
+    /// Whether the position is significant at SNP-wise false-positive
+    /// rate `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_adjusted <= alpha
+    }
+}
+
+/// χ²₁ 95% quantile: the model-selection cutoff deciding whether the
+/// heterozygous alternative's extra free parameter is justified.
+const HET_SELECTION_CUTOFF: f64 = 3.841_458_820_694_124;
+
+/// `x · ln(p)` with the continuous-count convention `0 · ln 0 = 0`.
+#[inline]
+fn xlnp(x: f64, p: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x * p.ln()
+    }
+}
+
+/// Log-likelihood of `z` under symbol probabilities that put `top` mass on
+/// the leading symbols and spread the rest evenly: the shared core of both
+/// alternatives' MLE likelihoods.
+fn log_lik_uniform(n: f64) -> f64 {
+    xlnp(n, 0.2)
+}
+
+/// Monoploid LRT (paper Equation 1): `H1: p_(5) > p_(4) = ... = p_(1)`.
+///
+/// Returns `None` when `n` is too small to test (zero total mass).
+pub fn monoploid_lrt(z: &BaseCounts) -> Option<LrtOutcome> {
+    let n = z.total();
+    if n <= 0.0 {
+        return None;
+    }
+    let order = z.order_desc();
+    let z5 = z.0[order[0]];
+    let rest = n - z5;
+
+    // H1 MLEs: p̂(5) = z(5)/n, remaining four split (n - z(5))/(4n).
+    let log_h1 = xlnp(z5, z5 / n) + xlnp(rest, rest / (4.0 * n));
+    let log_lambda = log_lik_uniform(n) - log_h1;
+    let statistic = (-2.0 * log_lambda).max(0.0);
+
+    Some(outcome(statistic, order, Alternative::OneBase, None))
+}
+
+/// Diploid LRT (paper Equation 2): the alternative is the better of
+/// "one base above background" (homozygous) and "two bases above
+/// background" (heterozygous).
+pub fn diploid_lrt(z: &BaseCounts) -> Option<LrtOutcome> {
+    let n = z.total();
+    if n <= 0.0 {
+        return None;
+    }
+    let order = z.order_desc();
+    let z5 = z.0[order[0]];
+    let z4 = z.0[order[1]];
+
+    let rest1 = n - z5;
+    let log_h1_mono = xlnp(z5, z5 / n) + xlnp(rest1, rest1 / (4.0 * n));
+
+    let rest2 = n - z5 - z4;
+    let log_h1_het = xlnp(z5, z5 / n) + xlnp(z4, z4 / n) + xlnp(rest2, rest2 / (3.0 * n));
+
+    // The paper's statistic uses the better-fitting alternative. Note the
+    // heterozygous model nests the homozygous one, so by Gibbs' inequality
+    // log_h1_het >= log_h1_mono always; `max` keeps the intent explicit.
+    let log_h1 = log_h1_het.max(log_h1_mono);
+
+    // Genotype labelling, however, cannot use the raw maximum (the nested
+    // het model wins trivially). We label the site heterozygous only when
+    // the extra parameter earns its keep: a secondary LRT between the two
+    // alternatives, 2·(ℓ_het − ℓ_mono) compared with the χ²₁ 95% point.
+    let het_gain = (2.0 * (log_h1_het - log_h1_mono)).max(0.0);
+    let alt = if het_gain > HET_SELECTION_CUTOFF {
+        Alternative::TwoBases
+    } else {
+        Alternative::OneBase
+    };
+    let log_lambda = log_lik_uniform(n) - log_h1;
+    let statistic = (-2.0 * log_lambda).max(0.0);
+
+    let p_het = ChiSquared::one().sf(het_gain);
+    Some(outcome(
+        statistic,
+        order,
+        alt,
+        Some((5.0 * p_het).min(1.0)),
+    ))
+}
+
+/// Run the LRT selected by `ploidy`.
+pub fn lrt(z: &BaseCounts, ploidy: Ploidy) -> Option<LrtOutcome> {
+    match ploidy {
+        Ploidy::Monoploid => monoploid_lrt(z),
+        Ploidy::Diploid => diploid_lrt(z),
+    }
+}
+
+fn outcome(
+    statistic: f64,
+    order: [usize; NUM_SYMBOLS],
+    alternative: Alternative,
+    p_het_adjusted: Option<f64>,
+) -> LrtOutcome {
+    let p_raw = ChiSquared::one().sf(statistic);
+    LrtOutcome {
+        statistic,
+        p_raw,
+        p_adjusted: (5.0 * p_raw).min(1.0),
+        best: order[0],
+        second: order[1],
+        alternative,
+        p_het_adjusted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} != {b}");
+    }
+
+    /// Hand-computed statistic for the paper's running example
+    /// z = (14, 1, 3, 2, 0):  n = 20, z(5) = 14,
+    /// λ = 0.2^20 / (0.7^14 · 0.075^6), -2 log λ = hand value below.
+    #[test]
+    fn monoploid_matches_hand_computation() {
+        let z = BaseCounts::new([14.0, 1.0, 3.0, 2.0, 0.0]);
+        let out = monoploid_lrt(&z).unwrap();
+        let expected = -2.0
+            * (20.0 * 0.2f64.ln() - (14.0 * 0.7f64.ln() + 6.0 * 0.075f64.ln()));
+        close(out.statistic, expected, 1e-12);
+        assert_eq!(out.best, 0); // A dominates
+        assert_eq!(out.second, 2); // then G
+        assert!(out.significant(0.05));
+    }
+
+    #[test]
+    fn uniform_counts_give_zero_statistic() {
+        let z = BaseCounts::new([4.0; 5]);
+        let out = monoploid_lrt(&z).unwrap();
+        close(out.statistic, 0.0, 1e-12);
+        assert_eq!(out.p_adjusted, 1.0);
+        assert!(!out.significant(0.05));
+        let out = diploid_lrt(&z).unwrap();
+        close(out.statistic, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn pure_single_base_is_highly_significant() {
+        let z = BaseCounts::new([30.0, 0.0, 0.0, 0.0, 0.0]);
+        let out = monoploid_lrt(&z).unwrap();
+        // λ = 0.2^30 / 1 → stat = -2·30·ln 0.2 ≈ 96.6
+        close(out.statistic, -60.0 * 0.2f64.ln(), 1e-12);
+        assert!(out.p_adjusted < 1e-20);
+        assert_eq!(out.alternative, Alternative::OneBase);
+    }
+
+    #[test]
+    fn zero_mass_is_untestable() {
+        assert!(monoploid_lrt(&BaseCounts::default()).is_none());
+        assert!(diploid_lrt(&BaseCounts::default()).is_none());
+    }
+
+    #[test]
+    fn heterozygous_pattern_prefers_two_base_alternative() {
+        // Half the reads say A, half say G — classic het site.
+        let z = BaseCounts::new([10.0, 0.0, 10.0, 0.0, 0.0]);
+        let out = diploid_lrt(&z).unwrap();
+        assert_eq!(out.alternative, Alternative::TwoBases);
+        assert_eq!(out.best, 0);
+        assert_eq!(out.second, 2);
+        assert!(out.significant(0.01));
+        // And the diploid statistic must beat the monoploid one, because the
+        // het MLE fits this data better.
+        let mono = monoploid_lrt(&z).unwrap();
+        assert!(out.statistic > mono.statistic);
+    }
+
+    #[test]
+    fn homozygous_pattern_prefers_one_base_alternative() {
+        let z = BaseCounts::new([19.0, 1.0, 0.5, 0.0, 0.0]);
+        let out = diploid_lrt(&z).unwrap();
+        assert_eq!(out.alternative, Alternative::OneBase);
+    }
+
+    #[test]
+    fn diploid_statistic_never_below_monoploid() {
+        // The diploid alternative is a superset, so its max-likelihood can
+        // only be larger → statistic >= monoploid statistic.
+        let cases = [
+            [5.0, 3.0, 2.0, 1.0, 0.0],
+            [10.0, 10.0, 0.0, 0.0, 0.0],
+            [7.0, 0.1, 0.1, 0.1, 0.1],
+            [1.0, 1.0, 1.0, 1.0, 1.0],
+        ];
+        for c in cases {
+            let z = BaseCounts::new(c);
+            let m = monoploid_lrt(&z).unwrap().statistic;
+            let d = diploid_lrt(&z).unwrap().statistic;
+            assert!(d >= m - 1e-12, "diploid {d} < monoploid {m} for {c:?}");
+        }
+    }
+
+    #[test]
+    fn continuous_counts_are_fine() {
+        let z = BaseCounts::new([3.7, 0.21, 0.14, 0.09, 0.02]);
+        let out = monoploid_lrt(&z).unwrap();
+        assert!(out.statistic > 0.0);
+        assert!(out.p_raw > 0.0 && out.p_raw < 1.0);
+    }
+
+    #[test]
+    fn adjusted_p_is_five_times_raw_capped() {
+        let z = BaseCounts::new([6.0, 1.0, 1.0, 1.0, 1.0]);
+        let out = monoploid_lrt(&z).unwrap();
+        close(out.p_adjusted, (5.0 * out.p_raw).min(1.0), 1e-15);
+    }
+
+    #[test]
+    fn order_desc_is_deterministic_under_ties() {
+        let z = BaseCounts::new([2.0, 2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(z.order_desc(), [0, 1, 2, 3, 4]);
+        let z = BaseCounts::new([1.0, 3.0, 3.0, 0.0, 0.0]);
+        assert_eq!(z.order_desc()[0], 1);
+        assert_eq!(z.order_desc()[1], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_counts_rejected() {
+        let _ = BaseCounts::new([1.0, -0.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ploidy_dispatch() {
+        let z = BaseCounts::new([10.0, 10.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            lrt(&z, Ploidy::Monoploid).unwrap().alternative,
+            Alternative::OneBase
+        );
+        assert_eq!(
+            lrt(&z, Ploidy::Diploid).unwrap().alternative,
+            Alternative::TwoBases
+        );
+    }
+
+    #[test]
+    fn gap_can_be_the_winning_symbol() {
+        let z = BaseCounts::new([0.5, 0.0, 0.0, 0.0, 12.0]);
+        let out = monoploid_lrt(&z).unwrap();
+        assert_eq!(out.best, 4);
+        assert!(out.significant(0.05));
+    }
+}

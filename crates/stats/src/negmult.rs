@@ -1,0 +1,299 @@
+//! The (continuous) negative multinomial distribution.
+//!
+//! The paper models the per-position evidence vector `z` as "a continuous
+//! negative multinomial distribution with read base proportions p_A, p_C,
+//! p_G, p_T and p_gap". This module provides that distribution explicitly:
+//! the log-density with the continuous extension (factorials → gamma
+//! functions), moments, and exact sampling via the gamma–Poisson mixture
+//! representation — used by tests to verify the LRT's behaviour on data
+//! actually drawn from the model.
+//!
+//! Parameterisation: `NM(r; q, p_1..p_k)` counts outcomes of each of `k`
+//! categories (probability `p_i` each) observed before the `r`-th stop
+//! event (probability `q = 1 − Σ p_i` per trial):
+//!
+//! ```text
+//! f(z) = Γ(r + Σz) / (Γ(r) ∏ Γ(z_i + 1)) · q^r ∏ p_i^{z_i}
+//! ```
+
+use crate::special::ln_gamma;
+
+/// Negative multinomial distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegativeMultinomial {
+    /// Stop count `r > 0` (need not be integer).
+    r: f64,
+    /// Per-category probabilities; `q = 1 − Σp` must be positive.
+    p: Vec<f64>,
+}
+
+impl NegativeMultinomial {
+    /// Construct; validates `r > 0`, `p_i ≥ 0`, `Σp < 1`.
+    pub fn new(r: f64, p: Vec<f64>) -> Result<NegativeMultinomial, String> {
+        if !(r > 0.0 && r.is_finite()) {
+            return Err(format!("r must be positive, got {r}"));
+        }
+        let sum: f64 = p.iter().sum();
+        if p.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err("category probabilities must be non-negative".into());
+        }
+        if sum >= 1.0 {
+            return Err(format!("category probabilities sum to {sum} >= 1"));
+        }
+        Ok(NegativeMultinomial { r, p })
+    }
+
+    /// Stop probability `q = 1 − Σ p_i`.
+    pub fn stop_prob(&self) -> f64 {
+        1.0 - self.p.iter().sum::<f64>()
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Log-density at a (possibly fractional) count vector `z`.
+    pub fn log_pmf(&self, z: &[f64]) -> f64 {
+        assert_eq!(z.len(), self.p.len(), "dimension mismatch");
+        assert!(z.iter().all(|&x| x >= 0.0), "counts must be non-negative");
+        let total: f64 = z.iter().sum();
+        let q = self.stop_prob();
+        let mut acc = ln_gamma(self.r + total) - ln_gamma(self.r) + self.r * q.ln();
+        for (zi, pi) in z.iter().zip(&self.p) {
+            acc -= ln_gamma(zi + 1.0);
+            if *zi > 0.0 {
+                acc += zi * pi.ln(); // 0·ln 0 = 0 convention
+            } else if *pi == 0.0 {
+                // z_i = 0 with p_i = 0 contributes nothing.
+            }
+        }
+        acc
+    }
+
+    /// Mean vector: `E[z_i] = r · p_i / q`.
+    pub fn mean(&self) -> Vec<f64> {
+        let q = self.stop_prob();
+        self.p.iter().map(|pi| self.r * pi / q).collect()
+    }
+
+    /// Variance of each component: `Var[z_i] = r p_i (p_i + q) / q²`.
+    pub fn variance(&self) -> Vec<f64> {
+        let q = self.stop_prob();
+        self.p
+            .iter()
+            .map(|pi| self.r * pi * (pi + q) / (q * q))
+            .collect()
+    }
+
+    /// Draw one sample via the gamma–Poisson mixture: `G ~ Gamma(r, (1−q)/q
+    /// scale …)` then `z_i ~ Poisson(G · p_i / (1 − q))` — equivalently
+    /// `z_i ~ Poisson(λ p_i / q)` with `λ ~ Gamma(r, 1)`.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let q = self.stop_prob();
+        let lambda = sample_gamma(self.r, rng);
+        self.p
+            .iter()
+            .map(|pi| sample_poisson(lambda * pi / q, rng) as f64)
+            .collect()
+    }
+}
+
+/// Marsaglia–Tsang gamma sampler, shape `a > 0`, scale 1.
+pub fn sample_gamma<R: rand::Rng>(a: f64, rng: &mut R) -> f64 {
+    use rand::RngExt;
+    assert!(a > 0.0, "shape must be positive");
+    if a < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let u: f64 = rng.random();
+        return sample_gamma(a + 1.0, rng) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let (u1, u2): (f64, f64) = (rng.random(), rng.random());
+        let x = (-2.0 * u1.max(1e-300).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Poisson sampler: Knuth's product method for small means, normal
+/// approximation with continuity correction for large ones.
+pub fn sample_poisson<R: rand::Rng>(lambda: f64, rng: &mut R) -> u64 {
+    use rand::RngExt;
+    assert!(lambda >= 0.0, "mean must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0u64;
+        while product > limit {
+            let u: f64 = rng.random();
+            product *= u;
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation (adequate for tests and simulators).
+        let (u1, u2): (f64, f64) = (rng.random(), rng.random());
+        let z = (-2.0 * u1.max(1e-300).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = lambda + lambda.sqrt() * z + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> impl rand::Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(NegativeMultinomial::new(2.0, vec![0.2, 0.3]).is_ok());
+        assert!(NegativeMultinomial::new(0.0, vec![0.2]).is_err());
+        assert!(NegativeMultinomial::new(1.0, vec![0.6, 0.5]).is_err());
+        assert!(NegativeMultinomial::new(1.0, vec![-0.1]).is_err());
+    }
+
+    #[test]
+    fn negative_binomial_special_case() {
+        // k = 1 reduces to the negative binomial NB(r, p): for integer
+        // counts the pmf is C(z + r − 1, z) q^r p^z.
+        let nm = NegativeMultinomial::new(3.0, vec![0.4]).unwrap();
+        // z = 2: C(4, 2) · 0.6³ · 0.4² = 6 · 0.216 · 0.16 = 0.20736.
+        let pmf = nm.log_pmf(&[2.0]).exp();
+        assert!((pmf - 0.20736).abs() < 1e-10, "pmf {pmf}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one_over_small_grid() {
+        // Two categories: summing the pmf over a generous integer grid
+        // should approach 1.
+        let nm = NegativeMultinomial::new(2.0, vec![0.25, 0.15]).unwrap();
+        let mut total = 0.0;
+        for a in 0..60 {
+            for b in 0..60 {
+                total += nm.log_pmf(&[a as f64, b as f64]).exp();
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-6, "grid mass {total}");
+    }
+
+    #[test]
+    fn sample_moments_match_theory() {
+        let nm = NegativeMultinomial::new(4.0, vec![0.3, 0.2, 0.1]).unwrap();
+        let mut r = rng(11);
+        let n = 20_000;
+        let mut sums = [0.0; 3];
+        for _ in 0..n {
+            let z = nm.sample(&mut r);
+            for (s, zi) in sums.iter_mut().zip(&z) {
+                *s += zi;
+            }
+        }
+        let mean_hat: Vec<f64> = sums.iter().map(|s| s / n as f64).collect();
+        for (m_hat, m) in mean_hat.iter().zip(nm.mean()) {
+            assert!(
+                (m_hat - m).abs() / m < 0.05,
+                "sample mean {m_hat} vs theory {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_sampler_moments() {
+        let mut r = rng(12);
+        for &shape in &[0.5f64, 1.0, 3.7, 12.0] {
+            let n = 30_000;
+            let mut sum = 0.0;
+            let mut sum2 = 0.0;
+            for _ in 0..n {
+                let x = sample_gamma(shape, &mut r);
+                sum += x;
+                sum2 += x * x;
+            }
+            let mean = sum / n as f64;
+            let var = sum2 / n as f64 - mean * mean;
+            assert!((mean - shape).abs() / shape < 0.05, "shape {shape}: mean {mean}");
+            assert!((var - shape).abs() / shape < 0.12, "shape {shape}: var {var}");
+        }
+    }
+
+    #[test]
+    fn poisson_sampler_moments() {
+        let mut r = rng(13);
+        for &lambda in &[0.5f64, 4.0, 25.0, 200.0] {
+            let n = 30_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                sum += sample_poisson(lambda, &mut r) as f64;
+            }
+            let mean = sum / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.05,
+                "λ {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(0.0, &mut r), 0);
+    }
+
+    #[test]
+    fn lrt_on_model_draws_controls_type_one_error() {
+        // Draw counts from a *uniform* negative multinomial (the LRT's
+        // null) and check the monoploid test's false-positive rate is at
+        // or below its nominal α. This ties the distribution module to
+        // the paper's testing framework.
+        use crate::lrt::{monoploid_lrt, BaseCounts};
+        let nm = NegativeMultinomial::new(6.0, vec![0.16; 5]).unwrap();
+        let mut r = rng(14);
+        let alpha = 0.05;
+        let trials = 4_000;
+        let mut rejections = 0;
+        for _ in 0..trials {
+            let z = nm.sample(&mut r);
+            let counts = BaseCounts::new([z[0], z[1], z[2], z[3], z[4]]);
+            if let Some(outcome) = monoploid_lrt(&counts) {
+                if outcome.significant(alpha) {
+                    rejections += 1;
+                }
+            }
+        }
+        let rate = rejections as f64 / trials as f64;
+        assert!(
+            rate <= alpha * 1.5,
+            "type-I error {rate} should not exceed α = {alpha} by much"
+        );
+    }
+
+    #[test]
+    fn continuous_counts_are_accepted() {
+        let nm = NegativeMultinomial::new(2.5, vec![0.3, 0.3]).unwrap();
+        let lp = nm.log_pmf(&[1.5, 0.25]);
+        assert!(lp.is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let nm = NegativeMultinomial::new(1.0, vec![0.5]).unwrap();
+        let _ = nm.log_pmf(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Gamma-family special functions.
+//!
+//! Implemented from scratch so the workspace has no external math
+//! dependency: a Lanczos approximation for `ln Γ(x)` and the standard
+//! series / continued-fraction pair for the regularized incomplete gamma
+//! functions (Numerical Recipes §6.1–6.2 structure, rederived). Accuracy is
+//! ~1e-12 over the ranges the SNP caller touches (half-integer shapes,
+//! moderate arguments), verified against high-precision reference values in
+//! the tests.
+
+/// Lanczos coefficients for g = 7, n = 9 (Godfrey's table); gives ~15
+/// significant digits for real x > 0.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// Panics on non-positive or non-finite input — the SNP caller only ever
+/// evaluates positive shapes, so a bad argument is a programming error.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        x > 0.0 && x.is_finite(),
+        "ln_gamma requires finite x > 0, got {x}"
+    );
+    if x < 0.5 {
+        // Reflection formula keeps the Lanczos argument in its sweet spot.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Maximum iterations for the series/continued-fraction loops. Both
+/// converge in tens of iterations for reasonable arguments; hitting the cap
+/// means the argument was extreme, and we return the best estimate.
+const MAX_ITER: usize = 500;
+const EPS: f64 = 1e-15;
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(a, 0) = 0`, `P(a, ∞) = 1`, monotone increasing in `x`.
+pub fn reg_gamma_lower(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive, got {a}");
+    assert!(x >= 0.0, "argument must be non-negative, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_fraction(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 - P(a, x)`.
+///
+/// Computed directly via the continued fraction when `x` is large so tiny
+/// tail probabilities keep full relative precision (important for the
+/// extreme p-values strong SNPs produce).
+pub fn reg_gamma_upper(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive, got {a}");
+    assert!(x >= 0.0, "argument must be non-negative, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_fraction(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, accurate for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz's continued fraction for `Q(a, x)`, accurate for `x >= a + 1`.
+fn gamma_cont_fraction(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "{a} != {b} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_integers_match_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..=20u32 {
+            close(ln_gamma(n as f64), fact.ln(), 1e-13);
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π, Γ(3/2) = √π/2
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        close(ln_gamma(0.5), sqrt_pi.ln(), 1e-13);
+        close(ln_gamma(1.5), (sqrt_pi / 2.0).ln(), 1e-13);
+        close(ln_gamma(2.5), (3.0 * sqrt_pi / 4.0).ln(), 1e-13);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x·Γ(x)
+        for &x in &[0.1, 0.7, 1.3, 4.6, 11.25, 101.5] {
+            close(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_rejects_non_positive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn incomplete_gamma_boundaries() {
+        for &a in &[0.5, 1.0, 2.5, 10.0] {
+            assert_eq!(reg_gamma_lower(a, 0.0), 0.0);
+            assert_eq!(reg_gamma_upper(a, 0.0), 1.0);
+            close(reg_gamma_lower(a, 1e6), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn p_plus_q_is_one() {
+        for &a in &[0.5, 1.0, 3.7, 25.0] {
+            for &x in &[0.01, 0.5, 1.0, 3.0, 10.0, 50.0] {
+                close(reg_gamma_lower(a, x) + reg_gamma_upper(a, x), 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 1.0, 2.5, 8.0] {
+            close(reg_gamma_lower(1.0, x), 1.0 - (-x).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn erf_special_case() {
+        // P(1/2, x) = erf(√x); reference erf values from mpmath.
+        close(reg_gamma_lower(0.5, 1.0), 0.842_700_792_949_714_9, 1e-12); // erf(1)
+        close(reg_gamma_lower(0.5, 4.0), 0.995_322_265_018_952_7, 1e-12); // erf(2)
+        close(reg_gamma_lower(0.5, 0.25), 0.520_499_877_813_046_5, 1e-12); // erf(0.5)
+    }
+
+    #[test]
+    fn monotone_in_x() {
+        let a = 2.3;
+        let mut last = -1.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.25;
+            let p = reg_gamma_lower(a, x);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn deep_tail_keeps_relative_precision() {
+        // Q(0.5, 50) = erfc(√50) ≈ 1.5417e-23; computed directly via the
+        // continued fraction so it should carry many correct digits.
+        let q = reg_gamma_upper(0.5, 50.0);
+        close(q, 1.541_725_790_028_002e-23, 1e-9);
+    }
+}

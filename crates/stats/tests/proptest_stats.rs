@@ -1,0 +1,117 @@
+//! Property tests over the statistical layer.
+
+use gnumap_stats::chi2::ChiSquared;
+use gnumap_stats::fdr::{benjamini_hochberg, bh_adjust};
+use gnumap_stats::lrt::{diploid_lrt, monoploid_lrt, BaseCounts};
+use gnumap_stats::special::{reg_gamma_lower, reg_gamma_upper};
+use proptest::prelude::*;
+
+fn counts() -> impl Strategy<Value = BaseCounts> {
+    proptest::array::uniform5(0.0f64..50.0)
+        .prop_filter("non-zero total", |z| z.iter().sum::<f64>() > 0.1)
+        .prop_map(BaseCounts::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lrt_statistic_is_nonnegative_and_p_valid(z in counts()) {
+        for outcome in [monoploid_lrt(&z), diploid_lrt(&z)].into_iter().flatten() {
+            prop_assert!(outcome.statistic >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&outcome.p_raw));
+            prop_assert!((0.0..=1.0).contains(&outcome.p_adjusted));
+            prop_assert!(outcome.p_adjusted >= outcome.p_raw);
+            prop_assert!(outcome.best < 5 && outcome.second < 5);
+            prop_assert!(outcome.best != outcome.second);
+        }
+    }
+
+    #[test]
+    fn diploid_statistic_dominates_monoploid(z in counts()) {
+        let m = monoploid_lrt(&z).unwrap().statistic;
+        let d = diploid_lrt(&z).unwrap().statistic;
+        prop_assert!(d >= m - 1e-9, "diploid {d} < monoploid {m}");
+    }
+
+    #[test]
+    fn concentrating_mass_increases_significance(z in counts()) {
+        // Moving one unit of mass from the weakest to the strongest symbol
+        // can only sharpen the monoploid test.
+        let before = monoploid_lrt(&z).unwrap();
+        let order = z.order_desc();
+        let mut sharper = z.0;
+        let moved = sharper[order[4]].min(1.0);
+        sharper[order[4]] -= moved;
+        sharper[order[0]] += moved;
+        let after = monoploid_lrt(&BaseCounts::new(sharper)).unwrap();
+        prop_assert!(
+            after.statistic >= before.statistic - 1e-9,
+            "before {} after {}",
+            before.statistic,
+            after.statistic
+        );
+    }
+
+    #[test]
+    fn scaling_counts_scales_statistic_up(z in counts(), factor in 1.1f64..5.0) {
+        // More of identical evidence is more significant (LRT grows
+        // linearly in n at fixed proportions).
+        let base = monoploid_lrt(&z).unwrap().statistic;
+        prop_assume!(base > 1e-6);
+        let scaled: [f64; 5] = std::array::from_fn(|k| z.0[k] * factor);
+        let grown = monoploid_lrt(&BaseCounts::new(scaled)).unwrap().statistic;
+        prop_assert!((grown - base * factor).abs() < 1e-6 * grown.max(1.0));
+    }
+
+    #[test]
+    fn chi2_cdf_is_monotone_and_quantile_inverts(
+        k in 1.0f64..20.0,
+        x in 0.0f64..100.0,
+        p in 0.0001f64..0.9999,
+    ) {
+        let d = ChiSquared::new(k);
+        prop_assert!(d.cdf(x) <= d.cdf(x + 0.5) + 1e-12);
+        prop_assert!((d.cdf(x) + d.sf(x) - 1.0).abs() < 1e-10);
+        let q = d.quantile(p);
+        prop_assert!((d.cdf(q) - p).abs() < 1e-8, "cdf(quantile({p})) = {}", d.cdf(q));
+    }
+
+    #[test]
+    fn incomplete_gamma_complement(a in 0.1f64..30.0, x in 0.0f64..80.0) {
+        prop_assert!((reg_gamma_lower(a, x) + reg_gamma_upper(a, x) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bh_rejections_are_prefix_of_sorted_pvalues(
+        mut pvals in proptest::collection::vec(0.0f64..1.0, 1..60),
+        q in 0.01f64..0.3,
+    ) {
+        let rejected = benjamini_hochberg(&pvals, q);
+        // Every rejected p-value must be <= every accepted p-value.
+        let rejected_set: std::collections::HashSet<usize> = rejected.iter().copied().collect();
+        let max_rej = rejected.iter().map(|&i| pvals[i]).fold(f64::NEG_INFINITY, f64::max);
+        for (i, &p) in pvals.iter().enumerate() {
+            if !rejected_set.contains(&i) {
+                prop_assert!(p >= max_rej || rejected.is_empty());
+            }
+        }
+        // Adjusted p-values are a monotone transform.
+        let adj = bh_adjust(&pvals);
+        pvals.sort_by(f64::total_cmp);
+        let mut adj_sorted = adj.clone();
+        adj_sorted.sort_by(f64::total_cmp);
+        for w in adj_sorted.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn het_gate_p_is_valid_and_only_diploid(z in counts()) {
+        let mono = monoploid_lrt(&z).unwrap();
+        prop_assert!(mono.p_het_adjusted.is_none());
+        let dip = diploid_lrt(&z).unwrap();
+        let p_het = dip.p_het_adjusted.expect("diploid carries the het gate");
+        prop_assert!((0.0..=1.0).contains(&p_het));
+    }
+}

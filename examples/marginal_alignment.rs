@@ -1,0 +1,94 @@
+//! Reproduce paper **Figure 3** — "Nucleotide additions from Pair-HMM".
+//!
+//! One read is aligned against a genome window; for a chosen genome
+//! position we print each read base's individual marginal contribution and
+//! the summed per-symbol totals, illustrating how "all the nucleotides in
+//! the read contribute a certain (if not insubstantial) probability" while
+//! "only the closest nucleotides contribute a significant amount".
+//!
+//! ```sh
+//! cargo run --release --example marginal_alignment
+//! ```
+
+use genome::alphabet::{Base, BASES};
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use pairhmm::marginal::PosteriorAlignment;
+use pairhmm::params::PhmmParams;
+use pairhmm::pwm::Pwm;
+
+fn main() {
+    // A candidate window containing two C's near each other, as in the
+    // figure: the read's *other* C can also plausibly align to the focal
+    // position, so it contributes noticeably more than unrelated bases.
+    // The window is placement-exact (same length as the read), as produced
+    // by the mapping engine's seeding stage.
+    let window_text = "AGCACTTGGACC";
+    let read_text = "AGCACTTGGACC";
+    let genome: DnaSeq = window_text.parse().unwrap();
+    // Moderate quality, so alignment uncertainty is visible.
+    let read = SequencedRead::with_uniform_quality("fig3", read_text.parse().unwrap(), 18);
+
+    let params = PhmmParams::with_gap_rates(0.04, 0.6, 0.03);
+    let pwm = Pwm::from_read(&read);
+    let window: Vec<Option<Base>> = genome.iter().collect();
+    let post = PosteriorAlignment::compute(&pwm, &window, &params);
+
+    // Focal genome position: the first C of the terminal "CC" pair
+    // (window index 10, 1-based column 11).
+    let focal = 11usize;
+    println!("window : {window_text}");
+    println!("read   : {read_text}   (uniform Q18)");
+    println!(
+        "\nIndividual nucleotide contributions to genome position {} ({}):",
+        focal - 1,
+        genome.get(focal - 1).unwrap()
+    );
+    println!("{:>5} {:>5} {:>12}", "i", "base", "P(x_i ◇ y_j)");
+    for i in 1..=read.len() {
+        let p = post.match_posterior(i, focal);
+        let bar = "#".repeat((p * 40.0).round() as usize);
+        println!(
+            "{:>5} {:>5} {:>12.6}  {bar}",
+            i,
+            read.base(i - 1).map_or('N', Base::to_char),
+            p
+        );
+    }
+
+    // Total per-symbol probabilities for every genome column (the "Total
+    // Nucleotide Probabilities" track of the figure).
+    let cols = post.column_posteriors(&pwm);
+    println!("\nTotal nucleotide probabilities per genome position:");
+    println!(
+        "{:>4} {:>4} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "j", "ref", "A", "C", "G", "T", "gap"
+    );
+    for (j, col) in cols.iter().enumerate() {
+        let reference = genome.get(j).map_or('N', Base::to_char);
+        print!("{:>4} {:>4}", j, reference);
+        for k in 0..5 {
+            print!(" {:>7.4}", col.probs[k]);
+        }
+        // Mark the consensus symbol.
+        let best = (0..5).max_by(|&a, &b| col.probs[a].total_cmp(&col.probs[b])).unwrap();
+        let label = if best < 4 {
+            BASES[best].to_char().to_string()
+        } else {
+            "-".to_string()
+        };
+        println!("   -> {label}");
+    }
+    let own = post.match_posterior(11, focal);
+    let other_c = post.match_posterior(12, focal);
+    let nearest_non_c = post.match_posterior(10, focal);
+    println!(
+        "\nThe diagonal read base dominates (P = {own:.6}), but the read's\n\
+         *other* C (position 12) contributes {:.0}x more to this column than\n\
+         the neighbouring non-C base does ({other_c:.2e} vs {nearest_non_c:.2e}) —\n\
+         the marginal alignment spreads evidence over all plausible\n\
+         alignments instead of committing to one, exactly the effect of the\n\
+         paper's Figure 3.",
+        other_c / nearest_non_c.max(1e-300)
+    );
+}

@@ -1,0 +1,634 @@
+//! Command-line interface plumbing for the `gnumap` binary.
+//!
+//! A deliberately small hand-rolled argument parser (the workspace's
+//! offline dependency set has no CLI crate): `--key value` pairs and
+//! `--flag` booleans after a subcommand, with typed accessors and
+//! did-you-mean-free but precise error messages. Parsing is pure and fully
+//! unit-tested; the binary in `src/bin/gnumap.rs` is a thin shell around
+//! [`run`].
+
+use crate::core::accum::AccumulatorMode;
+use crate::core::snpcall::{Cutoff, SnpCallConfig};
+use crate::core::GnumapConfig;
+use genome::fasta;
+use genome::fastq;
+use gnumap_stats::lrt::Ploidy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A parsed command line: subcommand plus `--key [value]` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    pub command: String,
+    options: BTreeMap<String, String>,
+    /// Keys that appeared; used to reject unknown options.
+    consumed: std::cell::RefCell<std::collections::BTreeSet<String>>,
+}
+
+/// Parse `argv[1..]`. Flags (`--x`) get the value `"true"`.
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let command = argv
+        .first()
+        .filter(|c| !c.starts_with("--"))
+        .ok_or("expected a subcommand: simulate | call | evaluate | index-stats")?
+        .clone();
+    let mut options = BTreeMap::new();
+    let mut i = 1;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, found {:?}", argv[i]))?
+            .to_string();
+        let value = match argv.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                i += 1;
+                v.clone()
+            }
+            _ => "true".to_string(),
+        };
+        if options.insert(key.clone(), value).is_some() {
+            return Err(format!("option --{key} given twice"));
+        }
+        i += 1;
+    }
+    Ok(Args {
+        command,
+        options,
+        consumed: Default::default(),
+    })
+}
+
+impl Args {
+    /// Typed option with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        self.consumed.borrow_mut().insert(key.to_string());
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.consumed.borrow_mut().insert(key.to_string());
+        self.options
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn optional(&self, key: &str) -> Option<String> {
+        self.consumed.borrow_mut().insert(key.to_string());
+        self.options.get(key).cloned()
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.consumed.borrow_mut().insert(key.to_string());
+        self.options.get(key).map(String::as_str) == Some("true")
+    }
+
+    /// Error on any option that no accessor asked for.
+    pub fn reject_unknown(&self) -> Result<(), String> {
+        let consumed = self.consumed.borrow();
+        for key in self.options.keys() {
+            if !consumed.contains(key) {
+                return Err(format!("unknown option --{key} for {:?}", self.command));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Top-level dispatch; returns the process exit message on error.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    match args.command.as_str() {
+        "simulate" => cmd_simulate(&args, out),
+        "call" => cmd_call(&args, out),
+        "map" => cmd_map(&args, out),
+        "evaluate" => cmd_evaluate(&args, out),
+        "index-stats" => cmd_index_stats(&args, out),
+        other => Err(format!(
+            "unknown subcommand {other:?}; expected simulate | call | map | evaluate | index-stats"
+        )),
+    }
+}
+
+/// Usage text for `--help` / errors.
+pub const USAGE: &str = "\
+gnumap — Pair-HMM SNP detection (GNUMAP-SNP reproduction)
+
+USAGE:
+  gnumap simulate    --out-dir DIR [--genome-len N] [--snps N] [--coverage X]
+                     [--seed S] [--diploid] [--read-len N]
+  gnumap call        --reference ref.fa --reads reads.fq [--out calls.vcf]
+                     [--ploidy monoploid|diploid] [--alpha A | --fdr Q]
+                     [--accumulator norm|chardisc|centdisc] [--threads N]
+                     [--min-coverage X] [--sample NAME]
+  gnumap map         --reference ref.fa --reads reads.fq [--max N]
+  gnumap evaluate    --calls calls.vcf --truth truth.tsv
+  gnumap index-stats --reference ref.fa [--k N]
+";
+
+fn read_reference(path: &str) -> Result<(String, genome::DnaSeq), String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let records =
+        fasta::read_fasta(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let record = records
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("{path}: no FASTA records"))?;
+    Ok((record.id, record.seq))
+}
+
+fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let out_dir = PathBuf::from(args.require("out-dir")?);
+    let genome_len: usize = args.get("genome-len", 100_000usize)?;
+    let snps: usize = args.get("snps", 20usize)?;
+    let coverage: f64 = args.get("coverage", 12.0f64)?;
+    let seed: u64 = args.get("seed", 42u64)?;
+    let read_len: usize = args.get("read-len", 62usize)?;
+    let diploid = args.flag("diploid");
+    args.reject_unknown()?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("{out_dir:?}: {e}"))?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let reference = simulate::generate_genome(
+        &simulate::GenomeConfig {
+            length: genome_len,
+            repeat_families: (genome_len / 25_000).max(1),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let catalog = simulate::generate_snp_catalog(
+        &reference,
+        &simulate::SnpCatalogConfig {
+            count: snps,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let read_cfg = ReadSimConfig {
+        read_length: read_len,
+        coverage,
+        ..Default::default()
+    };
+    let count = read_cfg.read_count(genome_len);
+    let reads: Vec<_> = if diploid {
+        let individual = simulate::apply_snps_diploid(&reference, &catalog, &mut rng);
+        simulate_reads(&ReadSource::Diploid(&individual), count, &read_cfg, &mut rng)
+    } else {
+        let individual = simulate::apply_snps_monoploid(&reference, &catalog);
+        simulate_reads(&ReadSource::Monoploid(&individual), count, &read_cfg, &mut rng)
+    }
+    .into_iter()
+    .map(|r| r.read)
+    .collect();
+
+    let write_file = |name: &str, f: &dyn Fn(&mut BufWriter<File>) -> Result<(), String>| {
+        let path = out_dir.join(name);
+        let mut w = BufWriter::new(File::create(&path).map_err(|e| format!("{path:?}: {e}"))?);
+        f(&mut w)?;
+        Ok::<PathBuf, String>(path)
+    };
+    let fa = write_file("reference.fa", &|w| {
+        fasta::write_fasta(
+            w,
+            &[fasta::FastaRecord {
+                id: "chrSim".into(),
+                seq: reference.clone(),
+            }],
+            70,
+        )
+        .map_err(|e| e.to_string())
+    })?;
+    let fq = write_file("reads.fq", &|w| {
+        fastq::write_fastq(w, &reads).map_err(|e| e.to_string())
+    })?;
+    let truth = write_file("truth.tsv", &|w| {
+        writeln!(w, "#pos\tref\talt\tzygosity").map_err(|e| e.to_string())?;
+        for s in &catalog {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}",
+                s.pos,
+                s.reference,
+                s.alt,
+                match s.zygosity {
+                    simulate::Zygosity::Homozygous => "hom",
+                    simulate::Zygosity::Heterozygous => "het",
+                }
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    })?;
+    writeln!(
+        out,
+        "wrote {} ({} bp), {} ({} reads), {} ({} SNPs)",
+        fa.display(),
+        genome_len,
+        fq.display(),
+        reads.len(),
+        truth.display(),
+        catalog.len()
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_call(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let reference_path = args.require("reference")?;
+    let reads_path = args.require("reads")?;
+    let out_path = args.optional("out");
+    let sample: String = args.get("sample", "sample".to_string())?;
+    let ploidy_s: String = args.get("ploidy", "monoploid".to_string())?;
+    let alpha: Option<f64> = args.optional("alpha").map(|v| v.parse()).transpose()
+        .map_err(|_| "--alpha: expected a number".to_string())?;
+    let fdr: Option<f64> = args.optional("fdr").map(|v| v.parse()).transpose()
+        .map_err(|_| "--fdr: expected a number".to_string())?;
+    let accumulator_s: String = args.get("accumulator", "norm".to_string())?;
+    let threads: usize = args.get("threads", 1usize)?;
+    let min_coverage: f64 = args.get("min-coverage", 3.0f64)?;
+    args.reject_unknown()?;
+
+    let ploidy = match ploidy_s.as_str() {
+        "monoploid" | "haploid" => Ploidy::Monoploid,
+        "diploid" => Ploidy::Diploid,
+        other => return Err(format!("--ploidy: unknown value {other:?}")),
+    };
+    let cutoff = match (alpha, fdr) {
+        (Some(_), Some(_)) => return Err("--alpha and --fdr are mutually exclusive".into()),
+        (Some(a), None) => Cutoff::PValue(a),
+        (None, Some(q)) => Cutoff::Fdr(q),
+        (None, None) => Cutoff::PValue(0.05),
+    };
+    let accumulator = match accumulator_s.as_str() {
+        "norm" => AccumulatorMode::Norm,
+        "chardisc" => AccumulatorMode::CharDisc,
+        "centdisc" => AccumulatorMode::CentDisc,
+        other => return Err(format!("--accumulator: unknown value {other:?}")),
+    };
+
+    let (chrom, reference) = read_reference(&reference_path)?;
+    let reads_file = File::open(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
+    let reads = fastq::read_fastq(BufReader::new(reads_file))
+        .map_err(|e| format!("{reads_path}: {e}"))?;
+
+    let config = GnumapConfig {
+        calling: SnpCallConfig {
+            ploidy,
+            cutoff,
+            min_total: min_coverage,
+        },
+        accumulator,
+        ..Default::default()
+    };
+    let report = if threads > 1 {
+        // The rayon shared-memory driver (NORM only; the discretized
+        // accumulators' merges are order-sensitive).
+        match accumulator {
+            AccumulatorMode::Norm => crate::core::driver::rayon_driver::run_rayon::<
+                crate::core::accum::NormAccumulator,
+            >(&reference, &reads, &config, threads),
+            _ => return Err("--threads > 1 currently requires --accumulator norm".into()),
+        }
+    } else {
+        crate::core::run_pipeline(&reference, &reads, &config)
+    };
+
+    let records: Vec<_> = report
+        .calls
+        .iter()
+        .map(|c| c.to_vcf_record(&chrom))
+        .collect();
+    match out_path {
+        Some(p) => {
+            let w = BufWriter::new(File::create(&p).map_err(|e| format!("{p}: {e}"))?);
+            genome::vcf::write_vcf(w, &sample, &records).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "mapped {}/{} reads in {:.2}s; wrote {} calls to {p}",
+                report.reads_mapped,
+                report.reads_processed,
+                report.elapsed_secs,
+                records.len()
+            )
+            .map_err(|e| e.to_string())
+        }
+        None => genome::vcf::write_vcf(out, &sample, &records).map_err(|e| e.to_string()),
+    }
+}
+
+fn cmd_map(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let reference_path = args.require("reference")?;
+    let reads_path = args.require("reads")?;
+    let max: usize = args.get("max", usize::MAX)?;
+    args.reject_unknown()?;
+
+    let (_, reference) = read_reference(&reference_path)?;
+    let reads_file = File::open(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
+    let reads = fastq::read_fastq(BufReader::new(reads_file))
+        .map_err(|e| format!("{reads_path}: {e}"))?;
+
+    let engine = crate::core::MappingEngine::new(&reference, GnumapConfig::default().mapping);
+    writeln!(out, "#read	location	strand	posterior_weight").map_err(|e| e.to_string())?;
+    for read in reads.iter().take(max) {
+        let alignments = engine.map_read(read);
+        if alignments.is_empty() {
+            writeln!(out, "{}	*	*	0", read.id).map_err(|e| e.to_string())?;
+            continue;
+        }
+        for aln in alignments {
+            writeln!(
+                out,
+                "{}	{}	{}	{:.6}",
+                read.id,
+                aln.window_start,
+                if aln.reverse { '-' } else { '+' },
+                aln.weight
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse a `truth.tsv` written by `simulate`.
+fn read_truth(path: &str) -> Result<Vec<(usize, genome::Base)>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 3 {
+            return Err(format!("{path}:{}: expected ≥3 columns", lineno + 1));
+        }
+        let pos: usize = fields[0]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad position", lineno + 1))?;
+        let alt = fields[2]
+            .bytes()
+            .next()
+            .and_then(genome::Base::from_ascii)
+            .ok_or_else(|| format!("{path}:{}: bad alt allele", lineno + 1))?;
+        out.push((pos, alt));
+    }
+    Ok(out)
+}
+
+fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let calls_path = args.require("calls")?;
+    let truth_path = args.require("truth")?;
+    args.reject_unknown()?;
+
+    let calls_file = File::open(&calls_path).map_err(|e| format!("{calls_path}: {e}"))?;
+    let records = genome::vcf::read_vcf(BufReader::new(calls_file))
+        .map_err(|e| format!("{calls_path}: {e}"))?;
+    let truth = read_truth(&truth_path)?;
+
+    let truth_map: std::collections::HashMap<usize, genome::Base> =
+        truth.iter().copied().collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut hit = std::collections::HashSet::new();
+    for r in &records {
+        match truth_map.get(&r.pos) {
+            Some(alt) if r.alts.contains(alt) => {
+                tp += 1;
+                hit.insert(r.pos);
+            }
+            _ => fp += 1,
+        }
+    }
+    let fn_ = truth.iter().filter(|(p, _)| !hit.contains(p)).count();
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let sensitivity = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    writeln!(
+        out,
+        "TP {tp}  FP {fp}  FN {fn_}  precision {:.1}%  sensitivity {:.1}%",
+        100.0 * precision,
+        100.0 * sensitivity
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_index_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let reference_path = args.require("reference")?;
+    let k: usize = args.get("k", 10usize)?;
+    args.reject_unknown()?;
+
+    let (id, reference) = read_reference(&reference_path)?;
+    let index = genome::KmerIndex::build(
+        &reference,
+        genome::IndexConfig {
+            k,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "contig {id}: {} bp, k = {k}\n  distinct k-mers : {}\n  stored positions: {}\n  masked repeats  : {}\n  index heap      : {} bytes",
+        reference.len(),
+        index.distinct_kmers(),
+        index.total_positions(),
+        index.masked_kmers(),
+        index.heap_bytes()
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Helper for integration tests: run with string args against a buffer.
+pub fn run_to_string(argv: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    run(&argv, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| e.to_string())
+}
+
+/// Exists so `Path` is referenced without a feature-gated import dance.
+#[allow(dead_code)]
+fn _path_marker(_: &Path) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let args = parse_args(&argv(&[
+            "call",
+            "--reference",
+            "ref.fa",
+            "--threads",
+            "4",
+            "--diploid",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, "call");
+        assert_eq!(args.require("reference").unwrap(), "ref.fa");
+        assert_eq!(args.get::<usize>("threads", 1).unwrap(), 4);
+        assert!(args.flag("diploid"));
+        assert!(!args.flag("nonexistent"));
+        assert_eq!(args.get::<u64>("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse_args(&argv(&[])).is_err());
+        assert!(parse_args(&argv(&["--reference", "x"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse_args(&argv(&["call", "--k", "1", "--k", "2"])).is_err());
+    }
+
+    #[test]
+    fn unknown_option_rejected_after_accessors() {
+        let args = parse_args(&argv(&["index-stats", "--reference", "r", "--bogus", "1"]))
+            .unwrap();
+        let _ = args.require("reference");
+        let _ = args.get::<usize>("k", 10);
+        assert!(args.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn bad_typed_value_reports_key() {
+        let args = parse_args(&argv(&["call", "--threads", "lots"])).unwrap();
+        let err = args.get::<usize>("threads", 1).unwrap_err();
+        assert!(err.contains("--threads"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_reported() {
+        let mut buf = Vec::new();
+        let err = run(&argv(&["frobnicate"]), &mut buf).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn end_to_end_simulate_call_evaluate() {
+        let dir = std::env::temp_dir().join(format!("gnumap-cli-{}", std::process::id()));
+        let dirs = dir.to_str().unwrap().to_string();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let msg = run_to_string(&[
+            "simulate",
+            "--out-dir",
+            &dirs,
+            "--genome-len",
+            "8000",
+            "--snps",
+            "6",
+            "--coverage",
+            "14",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(msg.contains("reference.fa"));
+
+        let fa = format!("{dirs}/reference.fa");
+        let fq = format!("{dirs}/reads.fq");
+        let vcf = format!("{dirs}/calls.vcf");
+        let msg = run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--out",
+            &vcf,
+        ])
+        .unwrap();
+        assert!(msg.contains("calls"), "{msg}");
+
+        let truth = format!("{dirs}/truth.tsv");
+        let eval = run_to_string(&["evaluate", "--calls", &vcf, "--truth", &truth]).unwrap();
+        assert!(eval.starts_with("TP "), "{eval}");
+        // At 14x on a clean 8 kb genome the caller should be near-perfect.
+        let tp: usize = eval
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(tp >= 5, "evaluation: {eval}");
+
+        let stats = run_to_string(&["index-stats", "--reference", &fa]).unwrap();
+        assert!(stats.contains("distinct k-mers"));
+
+        // Alternative calling paths: FDR cutoff and CHARDISC accumulator.
+        let vcf2 = format!("{dirs}/calls_fdr.vcf");
+        run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--out",
+            &vcf2,
+            "--fdr",
+            "0.05",
+            "--accumulator",
+            "chardisc",
+        ])
+        .unwrap();
+        let eval2 = run_to_string(&["evaluate", "--calls", &vcf2, "--truth", &truth]).unwrap();
+        assert!(eval2.starts_with("TP "), "{eval2}");
+
+        // The map subcommand lists per-read posterior locations.
+        let tsv = run_to_string(&["map", "--reference", &fa, "--reads", &fq, "--max", "25"])
+            .unwrap();
+        let data_lines: Vec<&str> =
+            tsv.lines().filter(|l| !l.starts_with('#')).collect();
+        assert!(data_lines.len() >= 25, "{} lines", data_lines.len());
+        for line in &data_lines {
+            let cols: Vec<&str> = line.split('\t').collect();
+            assert_eq!(cols.len(), 4, "line {line:?}");
+        }
+
+        // Multi-threaded calling agrees with serial on the same input.
+        let vcf3 = format!("{dirs}/calls_mt.vcf");
+        run_to_string(&[
+            "call", "--reference", &fa, "--reads", &fq, "--out", &vcf3, "--threads", "3",
+        ])
+        .unwrap();
+        let a = std::fs::read_to_string(&vcf).unwrap();
+        let b = std::fs::read_to_string(&vcf3).unwrap();
+        let strip = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split('\t').take(5).collect::<Vec<_>>().join("\t"))
+                .collect()
+        };
+        assert_eq!(strip(&a), strip(&b), "threads must not change the calls");
+
+        // Mutually exclusive cutoffs are rejected.
+        let err = run_to_string(&[
+            "call", "--reference", &fa, "--reads", &fq, "--alpha", "0.05", "--fdr", "0.05",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate property tests on the accumulators and the calling layer.
+
+use gnumap_snp::core::accum::{
+    CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
+};
+use proptest::prelude::*;
+
+/// Strategy: a short list of (position, delta-vector) updates.
+fn updates(len: usize) -> impl Strategy<Value = Vec<(usize, [f64; 5])>> {
+    proptest::collection::vec(
+        (
+            0..len,
+            proptest::array::uniform5(0.0f64..1.0).prop_filter(
+                "non-degenerate delta",
+                |d| d.iter().sum::<f64>() > 1e-6,
+            ),
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn norm_totals_track_deposited_mass(ups in updates(16)) {
+        let mut acc = NormAccumulator::new(16);
+        let mut expected = [0.0f64; 16];
+        for (pos, d) in &ups {
+            acc.add(*pos, d);
+            expected[*pos] += d.iter().sum::<f64>();
+        }
+        for pos in 0..16 {
+            prop_assert!((acc.total(pos) - expected[pos]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn norm_merge_is_order_independent(
+        a in updates(12),
+        b in updates(12),
+    ) {
+        let pour = |ups: &[(usize, [f64; 5])]| {
+            let mut acc = NormAccumulator::new(12);
+            for (pos, d) in ups {
+                acc.add(*pos, d);
+            }
+            acc
+        };
+        let mut ab = pour(&a);
+        ab.merge_from(&pour(&b));
+        let mut ba = pour(&b);
+        ba.merge_from(&pour(&a));
+        for pos in 0..12 {
+            let ca = ab.counts(pos);
+            let cb = ba.counts(pos);
+            for k in 0..5 {
+                prop_assert!((ca[k] - cb[k]).abs() < 1e-4,
+                    "merge asymmetry at {pos}/{k}: {ca:?} vs {cb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chardisc_preserves_total_and_normalisation(ups in updates(10)) {
+        let mut acc = CharDiscAccumulator::new(10);
+        let mut expected = [0.0f64; 10];
+        for (pos, d) in &ups {
+            acc.add(*pos, d);
+            expected[*pos] += d.iter().sum::<f64>();
+        }
+        for pos in 0..10 {
+            // Totals are carried in full f32 precision...
+            prop_assert!((acc.total(pos) - expected[pos]).abs() < 1e-3);
+            // ...and decoded counts re-sum to the total (bytes sum to 255).
+            let c = acc.counts(pos);
+            let sum: f64 = c.iter().sum();
+            if expected[pos] > 0.0 {
+                prop_assert!((sum - acc.total(pos)).abs() < 1e-6 * acc.total(pos).max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn chardisc_dominant_symbol_survives_quantisation(
+        pos in 0usize..8,
+        dominant in 0usize..5,
+        n in 1usize..50,
+    ) {
+        let mut acc = CharDiscAccumulator::new(8);
+        let mut d = [0.02; 5];
+        d[dominant] = 0.92;
+        for _ in 0..n {
+            acc.add(pos, &d);
+        }
+        let c = acc.counts(pos);
+        let argmax = (0..5).max_by(|&a, &b| c[a].total_cmp(&c[b])).unwrap();
+        prop_assert_eq!(argmax, dominant, "counts {:?}", c);
+    }
+
+    #[test]
+    fn centdisc_totals_exact_and_counts_bounded(ups in updates(10)) {
+        let mut acc = CentDiscAccumulator::new(10);
+        let mut expected = [0.0f64; 10];
+        for (pos, d) in &ups {
+            acc.add(*pos, d);
+            expected[*pos] += d.iter().sum::<f64>();
+        }
+        for pos in 0..10 {
+            prop_assert!((acc.total(pos) - expected[pos]).abs() < 1e-3);
+            let c = acc.counts(pos);
+            let sum: f64 = c.iter().sum();
+            // Decoded counts are a centroid × total: non-negative, re-sum
+            // to the total.
+            prop_assert!(c.iter().all(|&x| x >= 0.0));
+            if expected[pos] > 0.0 {
+                prop_assert!((sum - acc.total(pos)).abs() < 1e-6 * acc.total(pos).max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_lossless_for_all_modes(ups in updates(8)) {
+        fn check<A: GenomeAccumulator>(ups: &[(usize, [f64; 5])]) -> Result<(), TestCaseError> {
+            let mut acc = A::new(8);
+            for (pos, d) in ups {
+                acc.add(*pos, d);
+            }
+            // Merging a wire into a zero accumulator must reproduce the
+            // decoded counts exactly (no double quantisation drift beyond
+            // one re-encode).
+            let mut fresh = A::new(8);
+            fresh.merge_wire(&acc.to_wire());
+            for pos in 0..8 {
+                let a = acc.counts(pos);
+                let b = fresh.counts(pos);
+                for k in 0..5 {
+                    prop_assert!((a[k] - b[k]).abs() < 1e-2 * a[k].max(1.0),
+                        "wire drift at {pos}/{k}: {a:?} vs {b:?}");
+                }
+            }
+            Ok(())
+        }
+        check::<NormAccumulator>(&ups)?;
+        check::<CharDiscAccumulator>(&ups)?;
+        check::<CentDiscAccumulator>(&ups)?;
+    }
+}
