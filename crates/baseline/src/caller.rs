@@ -59,12 +59,11 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use simulate::{
-        apply_snps_monoploid, generate_genome, generate_snp_catalog, GenomeConfig,
-        SnpCatalogConfig,
-    };
-    use simulate::reads::{simulate_reads, ReadSource, ReadSimConfig};
+    use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
     use simulate::ErrorProfile;
+    use simulate::{
+        apply_snps_monoploid, generate_genome, generate_snp_catalog, GenomeConfig, SnpCatalogConfig,
+    };
 
     #[test]
     fn finds_planted_snps_end_to_end() {
@@ -98,10 +97,13 @@ mod tests {
         let read_vec: Vec<_> = reads.into_iter().map(|r| r.read).collect();
         let report = run_baseline(&genome, &read_vec, &BaselineConfig::default(), &mut rng);
 
-        assert!(report.reads_mapped > 1_800, "mapped {}", report.reads_mapped);
+        assert!(
+            report.reads_mapped > 1_800,
+            "mapped {}",
+            report.reads_mapped
+        );
         let truth: std::collections::HashSet<usize> = snps.iter().map(|s| s.pos).collect();
-        let called: std::collections::HashSet<usize> =
-            report.snps.iter().map(|s| s.pos).collect();
+        let called: std::collections::HashSet<usize> = report.snps.iter().map(|s| s.pos).collect();
         let tp = called.intersection(&truth).count();
         assert!(tp >= 8, "expected most planted SNPs, found {tp}/10");
         let fp = called.difference(&truth).count();

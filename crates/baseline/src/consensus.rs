@@ -79,8 +79,11 @@ pub fn call_consensus_snps(
         // Rank alleles by log-likelihood.
         let mut order = [0usize, 1, 2, 3];
         order.sort_by(|&x, &y| {
-            allele_log_lik(counts, y, config.error_rate)
-                .total_cmp(&allele_log_lik(counts, x, config.error_rate))
+            allele_log_lik(counts, y, config.error_rate).total_cmp(&allele_log_lik(
+                counts,
+                x,
+                config.error_rate,
+            ))
         });
         let best = order[0];
         let runner = order[1];
@@ -163,7 +166,10 @@ mod tests {
         deposit(&mut p, "AGA", 30, 0, 5);
         deposit(&mut p, "ACA", 30, 0, 5);
         let snps = call_consensus_snps(&p, &reference, &ConsensusConfig::default());
-        assert!(snps.is_empty(), "tied evidence should not be called: {snps:?}");
+        assert!(
+            snps.is_empty(),
+            "tied evidence should not be called: {snps:?}"
+        );
     }
 
     #[test]

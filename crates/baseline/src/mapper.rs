@@ -9,7 +9,7 @@
 use genome::index::{IndexConfig, KmerIndex};
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashSet;
 
 /// Configuration for the MAQ-style mapper.
@@ -237,8 +237,7 @@ mod tests {
         let g = genome("ACGTACGGTTCAGGCATTGCAAGCTTGGCAT");
         let mapper = MaqMapper::new(&g, cfg(6));
         // A read sharing no 6-mer with the genome at all.
-        let read =
-            SequencedRead::with_uniform_quality("r", genome("GGGGGGGGGGGGGGGG"), 30);
+        let read = SequencedRead::with_uniform_quality("r", genome("GGGGGGGGGGGGGGGG"), 30);
         assert!(mapper.map_read(&read, &mut rng(4)).is_none());
     }
 
@@ -247,11 +246,14 @@ mod tests {
         // Two identical 20-bp copies separated by unique sequence.
         let unit = "ACGGTTCAGGCATTGCAAGC";
         let g = genome(&format!("{unit}TTTTTTTTTT{unit}"));
-        let mapper = MaqMapper::new(&g, MaqConfig {
-            k: 6,
-            min_mapping_quality: 0,
-            ..MaqConfig::default()
-        });
+        let mapper = MaqMapper::new(
+            &g,
+            MaqConfig {
+                k: 6,
+                min_mapping_quality: 0,
+                ..MaqConfig::default()
+            },
+        );
         let read = SequencedRead::with_uniform_quality("r", genome(unit), 30);
         let mut seen = HashSet::new();
         for s in 0..32 {
@@ -302,6 +304,13 @@ mod tests {
             ..fwd
         };
         assert_eq!(oriented_read(&r, &fwd).seq.to_string(), "ACGT");
-        assert_eq!(oriented_read(&r, &rev).seq.to_string(), "ACGT".parse::<DnaSeq>().unwrap().reverse_complement().to_string());
+        assert_eq!(
+            oriented_read(&r, &rev).seq.to_string(),
+            "ACGT"
+                .parse::<DnaSeq>()
+                .unwrap()
+                .reverse_complement()
+                .to_string()
+        );
     }
 }

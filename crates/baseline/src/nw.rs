@@ -185,7 +185,12 @@ mod tests {
 
     #[test]
     fn identical_sequences_align_diagonally() {
-        let a = align(&read("ACGTACGT", 30), &window("ACGTACGT"), &NwParams::default(), None);
+        let a = align(
+            &read("ACGTACGT", 30),
+            &window("ACGTACGT"),
+            &NwParams::default(),
+            None,
+        );
         assert_eq!(a.ops, vec![NwOp::Diagonal; 8]);
         assert_eq!(a.matches, 8);
         assert_eq!(a.mismatches, 0);
@@ -194,8 +199,18 @@ mod tests {
 
     #[test]
     fn single_mismatch_scores_between() {
-        let exact = align(&read("ACGT", 30), &window("ACGT"), &NwParams::default(), None);
-        let one_mm = align(&read("ACTT", 30), &window("ACGT"), &NwParams::default(), None);
+        let exact = align(
+            &read("ACGT", 30),
+            &window("ACGT"),
+            &NwParams::default(),
+            None,
+        );
+        let one_mm = align(
+            &read("ACTT", 30),
+            &window("ACGT"),
+            &NwParams::default(),
+            None,
+        );
         assert!(one_mm.score < exact.score);
         assert_eq!(one_mm.mismatches, 1);
         assert_eq!(one_mm.matches, 3);

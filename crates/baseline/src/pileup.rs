@@ -165,7 +165,9 @@ mod tests {
         for pos in 2..8 {
             let expect = g.get(pos).unwrap().index();
             let counts = p.counts(pos);
-            let argmax = (0..4).max_by(|&a, &b| counts[a].total_cmp(&counts[b])).unwrap();
+            let argmax = (0..4)
+                .max_by(|&a, &b| counts[a].total_cmp(&counts[b]))
+                .unwrap();
             assert_eq!(argmax, expect);
         }
     }

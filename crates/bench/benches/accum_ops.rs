@@ -26,7 +26,7 @@ fn deltas() -> Vec<(usize, [f64; 5])> {
 
 fn bench_add<A: GenomeAccumulator>(c: &mut Criterion, name: &str) {
     let updates = deltas();
-    c.bench_function(&format!("accum_add_10k/{name}"), |b| {
+    c.bench_function(format!("accum_add_10k/{name}"), |b| {
         b.iter(|| {
             let mut acc = A::new(LEN);
             for (pos, d) in &updates {
@@ -46,7 +46,7 @@ fn bench_merge<A: GenomeAccumulator + Clone>(c: &mut Criterion, name: &str) {
         b_acc.add((*pos + 13) % LEN, d);
     }
     let wire = b_acc.to_wire();
-    c.bench_function(&format!("accum_merge_100kb/{name}"), |b| {
+    c.bench_function(format!("accum_merge_100kb/{name}"), |b| {
         b.iter(|| {
             let mut target = a.clone();
             target.merge_wire(black_box(&wire));

@@ -1,0 +1,85 @@
+//! Criterion bench for the streaming execution engine: end-to-end
+//! reads/sec through `run_stream` at 1, 2 and 4 workers, plus the cost of
+//! a checkpointed run. On a single-core host wall-clock times won't scale
+//! with workers; the printed elements/sec throughput is still the honest
+//! per-configuration figure, and `RunReport.rank_cpu_secs` (not measured
+//! here) carries the per-worker CPU-time breakdown.
+
+use bench::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exec::{run_stream, CheckpointPolicy, MemoryStream, StreamConfig};
+use gnumap_core::accum::FixedAccumulator;
+use gnumap_core::GnumapConfig;
+use std::hint::black_box;
+
+fn bench_stream_workers(c: &mut Criterion) {
+    let w = WorkloadSpec {
+        genome_len: 30_000,
+        snp_count: 6,
+        coverage: 3.0,
+        seed: 11,
+    }
+    .build();
+    let cfg = GnumapConfig::default();
+    let mut group = c.benchmark_group("stream_e2e");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(w.reads.len() as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let sc = StreamConfig {
+                    workers,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let mut stream = MemoryStream::new(w.reads.clone());
+                    let report =
+                        run_stream::<FixedAccumulator>(&w.reference, &mut stream, &cfg, &sc)
+                            .expect("streaming run");
+                    black_box(report.calls.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stream_checkpointing(c: &mut Criterion) {
+    let w = WorkloadSpec {
+        genome_len: 30_000,
+        snp_count: 6,
+        coverage: 3.0,
+        seed: 11,
+    }
+    .build();
+    let cfg = GnumapConfig::default();
+    let dir = std::env::temp_dir().join(format!("bench-stream-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut group = c.benchmark_group("stream_e2e");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(w.reads.len() as u64));
+    group.bench_function("checkpoint_every_8_batches", |b| {
+        let sc = StreamConfig {
+            workers: 2,
+            checkpoint: Some(CheckpointPolicy {
+                path: dir.join("bench.ckpt"),
+                every_batches: 8,
+                resume: false,
+            }),
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut stream = MemoryStream::new(w.reads.clone());
+            let report = run_stream::<FixedAccumulator>(&w.reference, &mut stream, &cfg, &sc)
+                .expect("checkpointed run");
+            black_box(report.stream.map(|s| s.checkpoints_written))
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(stream, bench_stream_workers, bench_stream_checkpointing);
+criterion_main!(stream);

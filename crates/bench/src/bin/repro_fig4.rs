@@ -43,15 +43,19 @@ fn main() {
     for &p in &procs {
         let mut shared_rate = 0.0f64;
         let mut spread_rate = 0.0f64;
-        let mut shared = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
-        let mut spread = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
+        let mut shared = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
+            .expect("call wire intact");
+        let mut spread = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
+            .expect("call wire intact");
         for _ in 0..reps {
-            let s = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
+            let s = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
+                .expect("call wire intact");
             if s.simulated_seqs_per_sec(&model) > shared_rate {
                 shared_rate = s.simulated_seqs_per_sec(&model);
                 shared = s;
             }
-            let g = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p);
+            let g = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
+                .expect("call wire intact");
             if g.simulated_seqs_per_sec(&model) > spread_rate {
                 spread_rate = g.simulated_seqs_per_sec(&model);
                 spread = g;

@@ -38,14 +38,17 @@ fn main() {
         let best = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(0.0f64, f64::max);
         let norm = best(&|| {
             run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
+                .expect("call wire intact")
                 .simulated_seqs_per_sec(&model)
         });
         let chard = best(&|| {
             run_read_split::<CharDiscAccumulator>(&w.reference, &w.reads, &cfg, p)
+                .expect("call wire intact")
                 .simulated_seqs_per_sec(&model)
         });
         let cent = best(&|| {
             run_read_split::<CentDiscAccumulator>(&w.reference, &w.reads, &cfg, p)
+                .expect("call wire intact")
                 .simulated_seqs_per_sec(&model)
         });
         let linear = *base_rate.get_or_insert(norm) * p as f64;
@@ -58,7 +61,9 @@ fn main() {
         ]);
     }
 
-    println!("Figure 5 — simulated sequences/second vs processors per accumulator (higher is better)");
+    println!(
+        "Figure 5 — simulated sequences/second vs processors per accumulator (higher is better)"
+    );
     println!(
         "{}",
         render_table(

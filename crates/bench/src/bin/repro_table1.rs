@@ -33,12 +33,9 @@ fn main() {
 
     // GNUMAP-SNP on the read-split driver (the paper ran a 30-node cluster;
     // times are "not normalized by the number of processors").
-    let gnumap = run_read_split::<NormAccumulator>(
-        &w.reference,
-        &w.reads,
-        &GnumapConfig::default(),
-        procs,
-    );
+    let gnumap =
+        run_read_split::<NormAccumulator>(&w.reference, &w.reads, &GnumapConfig::default(), procs)
+            .expect("call wire intact");
     let g_acc = gnumap_core::report::score_snp_calls(&gnumap.calls, &w.truth);
     // Simulated parallel wall clock: busiest rank's CPU + comm model (the
     // paper's GNUMAP time was measured on a 30-machine cluster).
@@ -74,10 +71,16 @@ fn main() {
             format!("{:.1}%", 100.0 * g_acc.precision()),
         ],
     ];
-    println!("Table I — simulated-data accuracy ({} planted SNPs)", w.truth.len());
+    println!(
+        "Table I — simulated-data accuracy ({} planted SNPs)",
+        w.truth.len()
+    );
     println!(
         "{}",
-        render_table(&["Program", "Time (s)", "TP", "FP", "FN", "Precision"], &rows)
+        render_table(
+            &["Program", "Time (s)", "TP", "FP", "FN", "Precision"],
+            &rows
+        )
     );
     println!(
         "paper shape: both callers catch ~75-80% of planted SNPs at >90% precision;\n\

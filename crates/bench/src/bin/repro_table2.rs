@@ -12,8 +12,7 @@ use bench::{render_table, WorkloadSpec};
 use genome::index::{IndexConfig, KmerIndex};
 use genome::packed::PackedSeq;
 use gnumap_core::accum::{
-    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator,
-    NormAccumulator,
+    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
 };
 use gnumap_core::footprint::{human_bytes, FootprintModel, CHR_X_BASES, HUMAN_GENOME_BASES};
 
@@ -28,7 +27,10 @@ fn measured_bytes(mode: AccumulatorMode, genome_len: usize, shared: usize) -> us
 
 fn main() {
     let spec = WorkloadSpec::from_env(200_000, 10);
-    eprintln!("[table2] measuring on a {} bp simulated genome", spec.genome_len);
+    eprintln!(
+        "[table2] measuring on a {} bp simulated genome",
+        spec.genome_len
+    );
     let w = spec.build();
 
     // Shared (mode-independent) structures: packed genome + k-mer index.

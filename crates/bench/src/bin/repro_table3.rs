@@ -67,7 +67,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Optimization", "MEM (accumulator)", "WT", "TP", "FP", "Precision"],
+            &[
+                "Optimization",
+                "MEM (accumulator)",
+                "WT",
+                "TP",
+                "FP",
+                "Precision"
+            ],
             &rows,
         )
     );

@@ -20,8 +20,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
 use simulate::{
-    apply_snps_monoploid, generate_genome, generate_snp_catalog, GenomeConfig,
-    SnpCatalogConfig,
+    apply_snps_monoploid, generate_genome, generate_snp_catalog, GenomeConfig, SnpCatalogConfig,
 };
 
 /// A fully materialised experiment workload.

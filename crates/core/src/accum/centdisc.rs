@@ -79,14 +79,14 @@ impl Codebook {
             (0.28, 0.48),
         ];
         let coarse_mixes: &[(f64, f64)] = &[(0.44, 0.44), (0.6, 0.28), (0.28, 0.6)];
-        let push_pair = |a: usize, b: usize, wa: f64, wb: f64,
-                             centroids: &mut Vec<[f64; NUM_SYMBOLS]>| {
-            let rest = (1.0 - wa - wb) / (NUM_SYMBOLS - 2) as f64;
-            let mut c = [rest; NUM_SYMBOLS];
-            c[a] = wa;
-            c[b] = wb;
-            centroids.push(c);
-        };
+        let push_pair =
+            |a: usize, b: usize, wa: f64, wb: f64, centroids: &mut Vec<[f64; NUM_SYMBOLS]>| {
+                let rest = (1.0 - wa - wb) / (NUM_SYMBOLS - 2) as f64;
+                let mut c = [rest; NUM_SYMBOLS];
+                c[a] = wa;
+                c[b] = wb;
+                centroids.push(c);
+            };
         for &(a, b) in &transition_pairs {
             for &(wa, wb) in fine_mixes {
                 push_pair(a, b, wa, wb, &mut centroids);
@@ -183,8 +183,7 @@ impl Codebook {
 
     /// Bytes of the codebook's own tables (shared across all accumulators).
     pub fn table_bytes(&self) -> usize {
-        self.centroids.len() * std::mem::size_of::<[f64; NUM_SYMBOLS]>()
-            + self.sum_table.len()
+        self.centroids.len() * std::mem::size_of::<[f64; NUM_SYMBOLS]>() + self.sum_table.len()
     }
 }
 

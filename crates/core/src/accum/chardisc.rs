@@ -142,8 +142,7 @@ impl GenomeAccumulator for CharDiscAccumulator {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.totals.capacity() * std::mem::size_of::<f32>()
-            + self.bytes.capacity() * NUM_SYMBOLS
+        self.totals.capacity() * std::mem::size_of::<f32>() + self.bytes.capacity() * NUM_SYMBOLS
     }
 }
 
@@ -244,7 +243,10 @@ mod tests {
         a.merge_from(&b);
         assert!((a.total(0) - 12.0).abs() < 1e-4);
         let c = a.counts(0);
-        assert!((c[0] - 6.0).abs() < 0.1 && (c[1] - 6.0).abs() < 0.1, "{c:?}");
+        assert!(
+            (c[0] - 6.0).abs() < 0.1 && (c[1] - 6.0).abs() < 0.1,
+            "{c:?}"
+        );
     }
 
     #[test]

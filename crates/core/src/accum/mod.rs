@@ -18,10 +18,12 @@
 
 mod centdisc;
 mod chardisc;
+mod fixed;
 mod norm;
 
 pub use centdisc::{CentDiscAccumulator, Codebook};
 pub use chardisc::CharDiscAccumulator;
+pub use fixed::FixedAccumulator;
 pub use norm::NormAccumulator;
 
 use mpisim::WireSize;
@@ -144,10 +146,7 @@ pub(crate) mod test_support {
         }
         let c = a.counts(0);
         assert!((a.total(0) - 10.0).abs() <= 10.0 * tolerance + 1e-6);
-        assert!(
-            c[0] / a.total(0) >= purity,
-            "pure signal stays pure: {c:?}"
-        );
+        assert!(c[0] / a.total(0) >= purity, "pure signal stays pure: {c:?}");
 
         // Wire merge ≈ pooled adds for identical inputs.
         let mut x = A::new(3);
@@ -159,7 +158,10 @@ pub(crate) mod test_support {
         merged.merge_wire(&y.to_wire());
         assert!((merged.total(1) - 2.0).abs() <= 2.0 * tolerance + 1e-6);
         let c = merged.counts(1);
-        assert!((c[0] - c[1]).abs() <= 2.0 * tolerance + 1e-6, "symmetric mix preserved: {c:?}");
+        assert!(
+            (c[0] - c[1]).abs() <= 2.0 * tolerance + 1e-6,
+            "symmetric mix preserved: {c:?}"
+        );
 
         // Heap accounting is non-trivial.
         assert!(A::new(1000).heap_bytes() > 0);

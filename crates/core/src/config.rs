@@ -24,9 +24,6 @@ mod tests {
         let cfg = GnumapConfig::default();
         assert_eq!(cfg.mapping.index.k, 10, "paper's default mer size");
         assert_eq!(cfg.accumulator, AccumulatorMode::Norm);
-        assert_eq!(
-            cfg.calling.ploidy,
-            gnumap_stats::lrt::Ploidy::Monoploid
-        );
+        assert_eq!(cfg.calling.ploidy, gnumap_stats::lrt::Ploidy::Monoploid);
     }
 }

@@ -28,7 +28,7 @@
 
 use crate::accum::GenomeAccumulator;
 use crate::config::GnumapConfig;
-use crate::driver::{decode_calls, encode_calls};
+use crate::driver::{decode_calls, encode_calls, CallWireError};
 use crate::mapping::MappingEngine;
 use crate::report::RunReport;
 use crate::snpcall::call_snps_with_offset;
@@ -55,7 +55,7 @@ pub fn run_genome_split<A: GenomeAccumulator>(
     reads: &[SequencedRead],
     config: &GnumapConfig,
     ranks: usize,
-) -> RunReport {
+) -> Result<RunReport, CallWireError> {
     assert!(ranks >= 1, "need at least one rank");
     let start = Instant::now();
     let world = World::new(ranks);
@@ -80,8 +80,7 @@ pub fn run_genome_split<A: GenomeAccumulator>(
             // Score each read locally; keep only placements owned by this
             // shard (placement start within [shard.start, shard.end)).
             let mut local_totals = vec![0.0f64; batch.len()];
-            let mut owned: Vec<Vec<crate::mapping::RawAlignment>> =
-                Vec::with_capacity(batch.len());
+            let mut owned: Vec<Vec<crate::mapping::RawAlignment>> = Vec::with_capacity(batch.len());
             for (i, read) in batch.iter().enumerate() {
                 let raw: Vec<_> = engine
                     .map_read_raw(read)
@@ -161,33 +160,39 @@ pub fn run_genome_split<A: GenomeAccumulator>(
         let acc_bytes = rank.reduce(0, acc.heap_bytes() as u64, |a, b| a + b);
 
         if rank.id() == 0 {
-            let mut all_calls = Vec::new();
-            for wire in call_wires.expect("root gathers") {
-                all_calls.extend(decode_calls(&wire));
-            }
-            all_calls.sort_by_key(|c| c.pos);
+            let decode_all = || -> Result<Vec<crate::snpcall::SnpCall>, CallWireError> {
+                let mut all_calls = Vec::new();
+                for wire in call_wires.expect("root gathers") {
+                    all_calls.extend(decode_calls(&wire)?);
+                }
+                all_calls.sort_by_key(|c| c.pos);
+                Ok(all_calls)
+            };
             let mapped_total: u64 = mapped_counts.expect("root gathers").iter().sum();
-            Some((
-                encode_calls(&all_calls),
-                mapped_total,
-                acc_bytes.expect("root reduces") as usize,
-            ))
+            Some(decode_all().map(|all_calls| {
+                (
+                    encode_calls(&all_calls),
+                    mapped_total,
+                    acc_bytes.expect("root reduces") as usize,
+                )
+            }))
         } else {
             None
         }
     });
 
     let (call_wire, mapped_total, acc_bytes) =
-        results.swap_remove(0).expect("rank 0 returns the result");
-    RunReport {
-        calls: decode_calls(&call_wire),
+        results.swap_remove(0).expect("rank 0 returns the result")?;
+    Ok(RunReport {
+        calls: decode_calls(&call_wire)?,
         reads_processed: reads.len(),
         reads_mapped: mapped_total as usize,
         elapsed_secs: start.elapsed().as_secs_f64(),
         accumulator_bytes: acc_bytes,
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,
-    }
+        stream: None,
+    })
 }
 
 #[cfg(test)]
@@ -196,7 +201,11 @@ mod tests {
     use crate::accum::NormAccumulator;
     use crate::pipeline::run_serial_with;
 
-    fn fixture() -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+    fn fixture() -> (
+        DnaSeq,
+        Vec<(usize, genome::alphabet::Base)>,
+        Vec<SequencedRead>,
+    ) {
         crate::pipeline::tests::fixture(4_000, 5, 12.0, 555)
     }
 
@@ -207,7 +216,7 @@ mod tests {
         let serial = run_serial_with::<NormAccumulator>(&reference, &reads, &cfg);
         for ranks in [1usize, 2, 4] {
             let parallel =
-                run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+                run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, ranks).unwrap();
             let serial_pos: Vec<(usize, genome::alphabet::Base)> =
                 serial.calls.iter().map(|c| (c.pos, c.allele)).collect();
             let parallel_pos: Vec<(usize, genome::alphabet::Base)> =
@@ -223,8 +232,8 @@ mod tests {
     fn per_rank_memory_shrinks_with_ranks() {
         let (reference, _, reads) = fixture();
         let cfg = GnumapConfig::default();
-        let one = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 1);
-        let four = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
+        let one = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 1).unwrap();
+        let four = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 4).unwrap();
         // Total accumulator bytes are similar (sum over ranks), but each of
         // the 4 ranks holds ~1/4 + margin.
         let per_rank_four = four.accumulator_bytes / 4;
@@ -242,10 +251,11 @@ mod tests {
         // single end-of-run reduction in message count.
         let (reference, _, reads) = fixture();
         let cfg = GnumapConfig::default();
-        let gs = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
+        let gs = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 4).unwrap();
         let rs = crate::driver::read_split::run_read_split::<NormAccumulator>(
             &reference, &reads, &cfg, 4,
-        );
+        )
+        .unwrap();
         let gs_msgs = gs.traffic.unwrap().messages;
         let rs_msgs = rs.traffic.unwrap().messages;
         assert!(
@@ -268,7 +278,7 @@ mod tests {
             },
             ..GnumapConfig::default()
         };
-        let report = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 5);
+        let report = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 5).unwrap();
         let acc = crate::report::score_snp_calls(&report.calls, &truth);
         assert!(acc.true_positives >= 4, "{acc:?}");
         assert!(acc.false_positives <= 1, "{acc:?}");
@@ -279,12 +289,9 @@ mod tests {
         // Place the shard boundary near a planted SNP by using many ranks
         // on a small genome; every planted SNP must still be recovered.
         let (reference, truth, reads) = crate::pipeline::tests::fixture(3_000, 6, 14.0, 999);
-        let report = run_genome_split::<NormAccumulator>(
-            &reference,
-            &reads,
-            &GnumapConfig::default(),
-            6,
-        );
+        let report =
+            run_genome_split::<NormAccumulator>(&reference, &reads, &GnumapConfig::default(), 6)
+                .unwrap();
         let acc = crate::report::score_snp_calls(&report.calls, &truth);
         assert!(
             acc.true_positives >= 5,

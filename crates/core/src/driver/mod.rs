@@ -17,7 +17,11 @@
 //!   final score"). Lower memory per rank, more communication — the
 //!   Figure 4 trade-off.
 //!
-//! The serial pipeline lives in [`crate::pipeline`].
+//! The serial pipeline lives in [`crate::pipeline`]. A fourth parallel
+//! driver — the streaming batch pipeline with backpressure, sharded
+//! accumulators and checkpoint/resume — lives in the `exec` crate, which
+//! builds on the call-wire helpers and [`crate::report::StreamStats`]
+//! defined here.
 
 pub mod genome_split;
 pub mod rayon_driver;
@@ -30,8 +34,28 @@ use genome::alphabet::Base;
 /// `CALL_STRIDE` f64 values.
 const CALL_STRIDE: usize = 11;
 
+/// A call wire whose length is not a multiple of [`CALL_STRIDE`] —
+/// truncated or corrupted in transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallWireError {
+    /// Length of the rejected wire.
+    pub len: usize,
+}
+
+impl std::fmt::Display for CallWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt call wire: length {} is not a multiple of {CALL_STRIDE}",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for CallWireError {}
+
 /// Encode calls into a flat `Vec<f64>` wire form.
-pub(crate) fn encode_calls(calls: &[SnpCall]) -> Vec<f64> {
+pub fn encode_calls(calls: &[SnpCall]) -> Vec<f64> {
     let mut out = Vec::with_capacity(calls.len() * CALL_STRIDE);
     for c in calls {
         out.push(c.pos as f64);
@@ -45,10 +69,15 @@ pub(crate) fn encode_calls(calls: &[SnpCall]) -> Vec<f64> {
     out
 }
 
-/// Decode the wire form produced by [`encode_calls`].
-pub(crate) fn decode_calls(wire: &[f64]) -> Vec<SnpCall> {
-    assert_eq!(wire.len() % CALL_STRIDE, 0, "corrupt call wire");
-    wire.chunks_exact(CALL_STRIDE)
+/// Decode the wire form produced by [`encode_calls`]. Rejects wires
+/// whose length is not a whole number of calls rather than silently
+/// dropping a tail or panicking inside a driver.
+pub fn decode_calls(wire: &[f64]) -> Result<Vec<SnpCall>, CallWireError> {
+    if !wire.len().is_multiple_of(CALL_STRIDE) {
+        return Err(CallWireError { len: wire.len() });
+    }
+    Ok(wire
+        .chunks_exact(CALL_STRIDE)
         .map(|c| {
             let mut counts = [0.0; 5];
             counts.copy_from_slice(&c[6..11]);
@@ -62,7 +91,7 @@ pub(crate) fn decode_calls(wire: &[f64]) -> Vec<SnpCall> {
                 counts,
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -93,17 +122,18 @@ mod tests {
         ];
         let wire = encode_calls(&calls);
         assert_eq!(wire.len(), 2 * CALL_STRIDE);
-        assert_eq!(decode_calls(&wire), calls);
+        assert_eq!(decode_calls(&wire).unwrap(), calls);
     }
 
     #[test]
     fn empty_wire() {
-        assert!(decode_calls(&encode_calls(&[])).is_empty());
+        assert!(decode_calls(&encode_calls(&[])).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic]
-    fn corrupt_wire_panics() {
-        let _ = decode_calls(&[1.0, 2.0]);
+    fn corrupt_wire_is_an_error() {
+        let err = decode_calls(&[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, CallWireError { len: 2 });
+        assert!(err.to_string().contains("length 2"));
     }
 }

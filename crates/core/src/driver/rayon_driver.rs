@@ -49,9 +49,7 @@ pub fn run_rayon<A: GenomeAccumulator>(
 
     // Deterministic fold in chunk order.
     let mut iter = partials.into_iter();
-    let (mut acc, mut mapped) = iter
-        .next()
-        .unwrap_or_else(|| (A::new(reference.len()), 0));
+    let (mut acc, mut mapped) = iter.next().unwrap_or_else(|| (A::new(reference.len()), 0));
     for (partial, m) in iter {
         acc.merge_from(&partial);
         mapped += m;
@@ -66,6 +64,7 @@ pub fn run_rayon<A: GenomeAccumulator>(
         accumulator_bytes: acc.heap_bytes(),
         traffic: None,
         rank_cpu_secs: Vec::new(),
+        stream: None,
     }
 }
 
@@ -75,7 +74,11 @@ mod tests {
     use crate::accum::NormAccumulator;
     use crate::pipeline::run_serial_with;
 
-    fn fixture() -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+    fn fixture() -> (
+        DnaSeq,
+        Vec<(usize, genome::alphabet::Base)>,
+        Vec<SequencedRead>,
+    ) {
         crate::pipeline::tests::fixture(4_000, 5, 12.0, 77)
     }
 
@@ -105,8 +108,7 @@ mod tests {
     #[test]
     fn rayon_finds_the_planted_snps() {
         let (reference, truth, reads) = fixture();
-        let report =
-            run_rayon::<NormAccumulator>(&reference, &reads, &GnumapConfig::default(), 3);
+        let report = run_rayon::<NormAccumulator>(&reference, &reads, &GnumapConfig::default(), 3);
         let acc = crate::report::score_snp_calls(&report.calls, &truth);
         assert!(acc.true_positives >= 4, "{acc:?}");
     }
@@ -114,8 +116,7 @@ mod tests {
     #[test]
     fn empty_reads_are_fine() {
         let (reference, _, _) = fixture();
-        let report =
-            run_rayon::<NormAccumulator>(&reference, &[], &GnumapConfig::default(), 2);
+        let report = run_rayon::<NormAccumulator>(&reference, &[], &GnumapConfig::default(), 2);
         assert!(report.calls.is_empty());
         assert_eq!(report.reads_processed, 0);
     }

@@ -14,7 +14,7 @@
 
 use crate::accum::GenomeAccumulator;
 use crate::config::GnumapConfig;
-use crate::driver::{decode_calls, encode_calls};
+use crate::driver::{decode_calls, encode_calls, CallWireError};
 use crate::mapping::MappingEngine;
 use crate::report::RunReport;
 use crate::snpcall::call_snps;
@@ -29,7 +29,7 @@ pub fn run_read_split<A: GenomeAccumulator>(
     reads: &[SequencedRead],
     config: &GnumapConfig,
     ranks: usize,
-) -> RunReport {
+) -> Result<RunReport, CallWireError> {
     assert!(ranks >= 1, "need at least one rank");
     let start = Instant::now();
     let world = World::new(ranks);
@@ -41,11 +41,8 @@ pub fn run_read_split<A: GenomeAccumulator>(
         let mut acc = A::new(reference.len());
 
         // Strided read partition: rank r maps reads r, r+n, r+2n, ...
-        let my_reads: Vec<&SequencedRead> = reads
-            .iter()
-            .skip(rank.id())
-            .step_by(rank.size())
-            .collect();
+        let my_reads: Vec<&SequencedRead> =
+            reads.iter().skip(rank.id()).step_by(rank.size()).collect();
         let mut mapped = 0usize;
         for read in my_reads {
             let alignments = engine.map_read(read);
@@ -73,18 +70,18 @@ pub fn run_read_split<A: GenomeAccumulator>(
         }
     });
 
-    let (call_wire, mapped_total, acc_bytes) = results
-        .swap_remove(0)
-        .expect("rank 0 returns the result");
-    RunReport {
-        calls: decode_calls(&call_wire),
+    let (call_wire, mapped_total, acc_bytes) =
+        results.swap_remove(0).expect("rank 0 returns the result");
+    Ok(RunReport {
+        calls: decode_calls(&call_wire)?,
         reads_processed: reads.len(),
         reads_mapped: mapped_total as usize,
         elapsed_secs: start.elapsed().as_secs_f64(),
         accumulator_bytes: acc_bytes,
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,
-    }
+        stream: None,
+    })
 }
 
 /// Read-split with a **ring allreduce** for the accumulator reduction
@@ -100,7 +97,7 @@ pub fn run_read_split_ring(
     reads: &[SequencedRead],
     config: &GnumapConfig,
     ranks: usize,
-) -> RunReport {
+) -> Result<RunReport, CallWireError> {
     use crate::accum::NormAccumulator;
     assert!(ranks >= 1, "need at least one rank");
     let start = Instant::now();
@@ -132,18 +129,18 @@ pub fn run_read_split_ring(
         }
     });
 
-    let (call_wire, mapped_total, acc_bytes) = results
-        .swap_remove(0)
-        .expect("rank 0 returns the result");
-    RunReport {
-        calls: decode_calls(&call_wire),
+    let (call_wire, mapped_total, acc_bytes) =
+        results.swap_remove(0).expect("rank 0 returns the result");
+    Ok(RunReport {
+        calls: decode_calls(&call_wire)?,
         reads_processed: reads.len(),
         reads_mapped: mapped_total as usize,
         elapsed_secs: start.elapsed().as_secs_f64(),
         accumulator_bytes: acc_bytes,
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,
-    }
+        stream: None,
+    })
 }
 
 #[cfg(test)]
@@ -152,7 +149,11 @@ mod tests {
     use crate::accum::{CharDiscAccumulator, NormAccumulator};
     use crate::pipeline::run_serial_with;
 
-    fn fixture() -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+    fn fixture() -> (
+        DnaSeq,
+        Vec<(usize, genome::alphabet::Base)>,
+        Vec<SequencedRead>,
+    ) {
         crate::pipeline::tests::fixture(4_000, 5, 12.0, 321)
     }
 
@@ -163,7 +164,7 @@ mod tests {
         let serial = run_serial_with::<NormAccumulator>(&reference, &reads, &cfg);
         for ranks in [1usize, 2, 3, 5] {
             let parallel =
-                run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+                run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks).unwrap();
             assert_eq!(
                 parallel.calls.len(),
                 serial.calls.len(),
@@ -183,8 +184,8 @@ mod tests {
     fn traffic_is_reported_and_scales_with_ranks() {
         let (reference, _, reads) = fixture();
         let cfg = GnumapConfig::default();
-        let two = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 2);
-        let four = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
+        let two = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 2).unwrap();
+        let four = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 4).unwrap();
         let t2 = two.traffic.unwrap();
         let t4 = four.traffic.unwrap();
         assert!(t4.payload_bytes > t2.payload_bytes, "{t2} vs {t4}");
@@ -197,8 +198,8 @@ mod tests {
         let (reference, _, reads) = fixture();
         let cfg = GnumapConfig::default();
         for ranks in [1usize, 2, 4] {
-            let star = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
-            let ring = run_read_split_ring(&reference, &reads, &cfg, ranks);
+            let star = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks).unwrap();
+            let ring = run_read_split_ring(&reference, &reads, &cfg, ranks).unwrap();
             let star_keys: Vec<_> = star.calls.iter().map(|c| (c.pos, c.allele)).collect();
             let ring_keys: Vec<_> = ring.calls.iter().map(|c| (c.pos, c.allele)).collect();
             assert_eq!(ring_keys, star_keys, "ranks={ranks}");
@@ -209,12 +210,9 @@ mod tests {
     #[test]
     fn chardisc_read_split_still_finds_snps() {
         let (reference, truth, reads) = fixture();
-        let report = run_read_split::<CharDiscAccumulator>(
-            &reference,
-            &reads,
-            &GnumapConfig::default(),
-            3,
-        );
+        let report =
+            run_read_split::<CharDiscAccumulator>(&reference, &reads, &GnumapConfig::default(), 3)
+                .unwrap();
         let acc = crate::report::score_snp_calls(&report.calls, &truth);
         assert!(acc.true_positives >= 3, "{acc:?}");
     }

@@ -49,8 +49,7 @@ impl FootprintModel {
 
     /// Projected total bytes for a genome of `bases` positions.
     pub fn project(&self, bases: usize) -> u64 {
-        let per_base =
-            self.accumulator_per_base + self.genome_per_base + self.index_per_base;
+        let per_base = self.accumulator_per_base + self.genome_per_base + self.index_per_base;
         (per_base * bases as f64) as u64 + self.fixed_bytes as u64
     }
 }
@@ -77,10 +76,8 @@ mod tests {
     fn ordering_matches_table_ii() {
         // Table II's key shape: NORM > CHARDISC > CENTDISC per-base.
         let norm = FootprintModel::for_mode(AccumulatorMode::Norm).project(HUMAN_GENOME_BASES);
-        let chard =
-            FootprintModel::for_mode(AccumulatorMode::CharDisc).project(HUMAN_GENOME_BASES);
-        let cent =
-            FootprintModel::for_mode(AccumulatorMode::CentDisc).project(HUMAN_GENOME_BASES);
+        let chard = FootprintModel::for_mode(AccumulatorMode::CharDisc).project(HUMAN_GENOME_BASES);
+        let cent = FootprintModel::for_mode(AccumulatorMode::CentDisc).project(HUMAN_GENOME_BASES);
         assert!(norm > chard && chard > cent, "{norm} > {chard} > {cent}");
     }
 
@@ -98,7 +95,10 @@ mod tests {
 
     #[test]
     fn fixed_overhead_only_for_centdisc() {
-        assert_eq!(FootprintModel::for_mode(AccumulatorMode::Norm).fixed_bytes, 0);
+        assert_eq!(
+            FootprintModel::for_mode(AccumulatorMode::Norm).fixed_bytes,
+            0
+        );
         assert!(FootprintModel::for_mode(AccumulatorMode::CentDisc).fixed_bytes > 0);
     }
 

@@ -160,9 +160,7 @@ impl<'g> MappingEngine<'g> {
             .collect();
         let emit = pwm.emission_table(&window, &self.config.phmm);
         let post = match self.config.band {
-            Some(w) => {
-                PosteriorAlignment::from_emissions_banded(&emit, &self.config.phmm, w + pad)
-            }
+            Some(w) => PosteriorAlignment::from_emissions_banded(&emit, &self.config.phmm, w + pad),
             None => PosteriorAlignment::from_emissions(&emit, &self.config.phmm),
         };
         let total = post.total();
@@ -185,8 +183,7 @@ impl<'g> MappingEngine<'g> {
         for (reverse, oriented) in [(false, read), (true, &rc)] {
             let pwm = Pwm::from_read(oriented);
             for start in self.candidates(oriented) {
-                if let Some((ws, total, columns)) = self.score_candidate(oriented, &pwm, start)
-                {
+                if let Some((ws, total, columns)) = self.score_candidate(oriented, &pwm, start) {
                     raw.push(RawAlignment {
                         window_start: ws,
                         placement_start: start,
@@ -298,11 +295,8 @@ mod tests {
     fn reverse_strand_read_maps() {
         let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCATGGACC");
         let engine = MappingEngine::new(&g, cfg(8));
-        let read = SequencedRead::with_uniform_quality(
-            "r",
-            g.window(5, 30).reverse_complement(),
-            35,
-        );
+        let read =
+            SequencedRead::with_uniform_quality("r", g.window(5, 30).reverse_complement(), 35);
         let alns = engine.map_read(&read);
         assert_eq!(alns.len(), 1);
         assert!(alns[0].reverse);
@@ -340,7 +334,11 @@ mod tests {
         let mut alns = engine.map_read(&read);
         alns.sort_by(|a, b| b.weight.total_cmp(&a.weight));
         assert_eq!(alns.len(), 2);
-        assert!(alns[0].weight > 0.9, "exact copy dominates: {}", alns[0].weight);
+        assert!(
+            alns[0].weight > 0.9,
+            "exact copy dominates: {}",
+            alns[0].weight
+        );
         assert!(alns[1].weight > 0.0 && alns[1].weight < 0.1);
         assert_eq!(alns[0].window_start, 0);
     }
@@ -349,8 +347,7 @@ mod tests {
     fn unmappable_read_returns_empty() {
         let g = genome("TTGACCAGTTCAGGCATTGCAAGCTTGGCATCCA");
         let engine = MappingEngine::new(&g, cfg(8));
-        let read =
-            SequencedRead::with_uniform_quality("r", genome("GGGGGGGGGGGGGGGGGGGG"), 35);
+        let read = SequencedRead::with_uniform_quality("r", genome("GGGGGGGGGGGGGGGGGGGG"), 35);
         assert!(engine.map_read(&read).is_empty());
     }
 

@@ -5,8 +5,7 @@
 //! internally.
 
 use crate::accum::{
-    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator,
-    NormAccumulator,
+    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
 };
 use crate::config::GnumapConfig;
 use crate::mapping::MappingEngine;
@@ -45,16 +44,19 @@ pub fn deposit<A: GenomeAccumulator>(
     weight: f64,
     columns: &[pairhmm::marginal::ColumnPosterior],
 ) {
-    for (j, col) in columns.iter().enumerate() {
-        let pos = window_start + j;
-        if pos >= acc.len() {
-            break;
-        }
+    // Clamp the column range once so the hot loop carries no per-column
+    // bounds test.
+    let len = acc.len();
+    if window_start >= len {
+        return;
+    }
+    let usable = columns.len().min(len - window_start);
+    for (j, col) in columns[..usable].iter().enumerate() {
         let mut delta = [0.0; 5];
-        for k in 0..5 {
-            delta[k] = col.probs[k] * weight;
+        for (d, p) in delta.iter_mut().zip(col.probs) {
+            *d = p * weight;
         }
-        acc.add(pos, &delta);
+        acc.add(window_start + j, &delta);
     }
 }
 
@@ -77,6 +79,7 @@ pub fn run_serial_with<A: GenomeAccumulator>(
         accumulator_bytes: acc.heap_bytes(),
         traffic: None,
         rank_cpu_secs: Vec::new(),
+        stream: None,
     }
 }
 
@@ -106,8 +109,8 @@ pub(crate) mod tests {
     use rand_chacha::ChaCha8Rng;
     use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
     use simulate::{
-        apply_snps_monoploid, generate_genome, generate_snp_catalog, ErrorProfile,
-        GenomeConfig, SnpCatalogConfig,
+        apply_snps_monoploid, generate_genome, generate_snp_catalog, ErrorProfile, GenomeConfig,
+        SnpCatalogConfig,
     };
 
     /// Small but realistic end-to-end fixture shared by driver tests.
@@ -116,7 +119,11 @@ pub(crate) mod tests {
         snp_count: usize,
         coverage: f64,
         seed: u64,
-    ) -> (DnaSeq, Vec<(usize, genome::alphabet::Base)>, Vec<SequencedRead>) {
+    ) -> (
+        DnaSeq,
+        Vec<(usize, genome::alphabet::Base)>,
+        Vec<SequencedRead>,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let reference = generate_genome(
             &GenomeConfig {

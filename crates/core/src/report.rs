@@ -20,8 +20,8 @@ pub struct CommModel {
 impl Default for CommModel {
     fn default() -> Self {
         CommModel {
-            latency_secs: 50e-6,    // ~50 µs per MPI message
-            bytes_per_sec: 125e6,   // ~1 Gbit/s payload bandwidth
+            latency_secs: 50e-6,  // ~50 µs per MPI message
+            bytes_per_sec: 125e6, // ~1 Gbit/s payload bandwidth
         }
     }
 }
@@ -31,6 +31,50 @@ impl CommModel {
     pub fn seconds(&self, traffic: &TrafficStats) -> f64 {
         traffic.messages as f64 * self.latency_secs
             + traffic.payload_bytes as f64 / self.bytes_per_sec
+    }
+}
+
+/// Execution statistics from the streaming driver: how full the batch
+/// pipeline ran, how deep its queues got, and where time was lost to
+/// waiting rather than work.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Worker threads the scheduler ran.
+    pub workers: usize,
+    /// Configured reads per micro-batch.
+    pub batch_size: usize,
+    /// Micro-batches dispatched over the whole run.
+    pub batches_dispatched: usize,
+    /// Mean fill fraction of dispatched batches (1.0 = every batch full;
+    /// the tail batch of each window drags this below 1).
+    pub mean_batch_occupancy: f64,
+    /// Deepest the source→scheduler channel ever got, in chunks.
+    pub max_queue_depth: usize,
+    /// Mean source→scheduler channel depth sampled at each chunk arrival.
+    pub mean_queue_depth: f64,
+    /// Seconds the source thread spent blocked on a full channel
+    /// (backpressure engaged).
+    pub source_stall_secs: f64,
+    /// Total seconds workers spent idle between batches, summed over
+    /// workers.
+    pub worker_stall_secs: f64,
+    /// Checkpoints written during the run.
+    pub checkpoints_written: usize,
+    /// Whether this run started from a checkpoint instead of the stream
+    /// head.
+    pub resumed_from_checkpoint: bool,
+}
+
+impl StreamStats {
+    /// Reads mapped per second of summed worker CPU time: the honest
+    /// throughput figure on a timeshared host, analogous to
+    /// [`RunReport::simulated_seqs_per_sec`] for the MPI drivers.
+    pub fn reads_per_cpu_sec(reads: usize, rank_cpu_secs: &[f64]) -> f64 {
+        let cpu: f64 = rank_cpu_secs.iter().sum();
+        if cpu <= 0.0 {
+            return 0.0;
+        }
+        reads as f64 / cpu
     }
 }
 
@@ -50,8 +94,11 @@ pub struct RunReport {
     /// Communication statistics when a message-passing driver ran.
     pub traffic: Option<TrafficStats>,
     /// CPU seconds each simulated rank consumed (message-passing drivers
-    /// only), in rank order.
+    /// only), in rank order. The streaming driver reports per-worker CPU
+    /// seconds here.
     pub rank_cpu_secs: Vec<f64>,
+    /// Pipeline statistics when the streaming driver ran.
+    pub stream: Option<StreamStats>,
 }
 
 impl RunReport {
@@ -230,7 +277,15 @@ mod tests {
             accumulator_bytes: 0,
             traffic: None,
             rank_cpu_secs: Vec::new(),
+            stream: None,
         };
         assert_eq!(r.seqs_per_sec(), 250.0);
+    }
+
+    #[test]
+    fn reads_per_cpu_sec_sums_workers() {
+        assert_eq!(StreamStats::reads_per_cpu_sec(1_000, &[1.0, 1.0]), 500.0);
+        assert_eq!(StreamStats::reads_per_cpu_sec(1_000, &[]), 0.0);
+        assert_eq!(StreamStats::reads_per_cpu_sec(1_000, &[0.0]), 0.0);
     }
 }

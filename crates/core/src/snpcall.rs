@@ -187,8 +187,7 @@ pub fn call_snps_with_offset<A: GenomeAccumulator>(
         };
         // A SNP exists when the called genotype contains a non-reference
         // base.
-        let differs = allele != c.reference
-            || second_allele.is_some_and(|b| b != c.reference);
+        let differs = allele != c.reference || second_allele.is_some_and(|b| b != c.reference);
         if !differs {
             continue;
         }

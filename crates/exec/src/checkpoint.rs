@@ -1,0 +1,170 @@
+//! Atomic accumulator + cursor snapshots.
+//!
+//! A checkpoint pins the engine's state at a scheduling barrier: `cursor`
+//! reads fully processed, their mapped count, and the decoded per-position
+//! counts of the accumulator at that instant. Files are written to a
+//! `.tmp` sibling and renamed into place, so a kill mid-write leaves the
+//! previous checkpoint intact — a resumed run either sees the old
+//! snapshot or the complete new one, never a torn file.
+
+use crate::error::ExecError;
+use gnumap_core::accum::NUM_SYMBOLS;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic (versioned) and trailer.
+const MAGIC: &[u8; 8] = b"GMSNPCK1";
+const TRAILER: &[u8; 4] = b"END.";
+
+/// A consistent engine snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Reads fully processed (stream position to resume from).
+    pub cursor: usize,
+    /// Reads among those that produced at least one alignment.
+    pub reads_mapped: usize,
+    /// Decoded per-position counts of the accumulator at the barrier.
+    pub counts: Vec<[f64; NUM_SYMBOLS]>,
+}
+
+/// Write `cp` to `path` atomically (tmp + rename).
+pub fn save(path: &Path, cp: &Checkpoint) -> Result<(), ExecError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&(cp.cursor as u64).to_le_bytes())?;
+        w.write_all(&(cp.reads_mapped as u64).to_le_bytes())?;
+        w.write_all(&(cp.counts.len() as u64).to_le_bytes())?;
+        for pos in &cp.counts {
+            for &c in pos {
+                w.write_all(&c.to_le_bytes())?;
+            }
+        }
+        w.write_all(TRAILER)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a checkpoint; `Ok(None)` when the file does not exist.
+pub fn load(path: &Path) -> Result<Option<Checkpoint>, ExecError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = BufReader::new(file);
+    let corrupt = |what: &str| ExecError::Checkpoint(format!("{}: {what}", path.display()));
+
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| corrupt("file too short for header"))?;
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic (not a checkpoint, or a newer format)"));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<File>, what: &str| -> Result<u64, ExecError> {
+        r.read_exact(&mut u64buf).map_err(|_| corrupt(what))?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let cursor = read_u64(&mut r, "truncated cursor")? as usize;
+    let reads_mapped = read_u64(&mut r, "truncated mapped count")? as usize;
+    let len = read_u64(&mut r, "truncated length")? as usize;
+
+    let mut counts = Vec::with_capacity(len);
+    let mut f64buf = [0u8; 8];
+    for _ in 0..len {
+        let mut pos = [0.0; NUM_SYMBOLS];
+        for slot in &mut pos {
+            r.read_exact(&mut f64buf)
+                .map_err(|_| corrupt("truncated counts"))?;
+            *slot = f64::from_le_bytes(f64buf);
+        }
+        counts.push(pos);
+    }
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)
+        .map_err(|_| corrupt("missing trailer"))?;
+    if &trailer != TRAILER {
+        return Err(corrupt("bad trailer (truncated write?)"));
+    }
+    Ok(Some(Checkpoint {
+        cursor,
+        reads_mapped,
+        counts,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("exec-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            cursor: 1234,
+            reads_mapped: 1200,
+            counts: (0..17).map(|i| [i as f64, 0.5, 0.0, 2.25, 1e-9]).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("state.ckpt");
+        let cp = sample();
+        save(&path, &cp).unwrap();
+        assert_eq!(load(&path).unwrap().unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let dir = tmpdir("missing");
+        assert!(load(&dir.join("nope.ckpt")).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("state.ckpt");
+        save(&path, &sample()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(load(&path), Err(ExecError::Checkpoint(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("state.ckpt");
+        std::fs::write(&path, b"definitely not a checkpoint file").unwrap();
+        assert!(matches!(load(&path), Err(ExecError::Checkpoint(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrite_replaces_previous_snapshot() {
+        let dir = tmpdir("overwrite");
+        let path = dir.join("state.ckpt");
+        save(&path, &sample()).unwrap();
+        let newer = Checkpoint {
+            cursor: 9999,
+            ..sample()
+        };
+        save(&path, &newer).unwrap();
+        assert_eq!(load(&path).unwrap().unwrap().cursor, 9999);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

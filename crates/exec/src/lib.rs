@@ -1,0 +1,36 @@
+//! Streaming execution engine for the GNUMAP-SNP pipeline.
+//!
+//! The pipeline drivers in `gnumap-core` all start from a `&[SequencedRead]`
+//! slice: the whole input must fit in memory before any work begins, and
+//! every driver ends with a global merge of per-worker accumulators. This
+//! crate runs the same map → accumulate → call algorithm over an
+//! **unbounded read source** instead:
+//!
+//! * [`stream`] — a chunked [`stream::ReadStream`] trait with FASTQ-file,
+//!   simulator-backed and in-memory implementations, feeding a bounded
+//!   channel so a slow consumer applies backpressure to the source;
+//! * [`driver`] — a batch scheduler that groups arriving reads into
+//!   length-sorted micro-batches and dispatches them to a work-stealing
+//!   worker pool;
+//! * [`sharded`] — a striped-lock wrapper over any
+//!   [`gnumap_core::accum::GenomeAccumulator`], so workers deposit evidence
+//!   concurrently without a global merge barrier;
+//! * [`checkpoint`] — periodic atomic snapshots of the accumulator plus the
+//!   stream cursor, giving kill/resume semantics.
+//!
+//! Pair the engine with [`gnumap_core::accum::FixedAccumulator`] and the
+//! result is **bit-identical** to a serial run for any worker count, batch
+//! size or checkpoint schedule: integer deposits commute, and the scheduler
+//! derives batch composition only from stream order, never from timing.
+
+pub mod checkpoint;
+pub mod driver;
+pub mod error;
+pub mod sharded;
+pub mod stream;
+
+pub use checkpoint::Checkpoint;
+pub use driver::{run_stream, CheckpointPolicy, StreamConfig};
+pub use error::ExecError;
+pub use sharded::ShardedAccumulator;
+pub use stream::{FastqStream, MemoryStream, ReadStream, SimReadStream};

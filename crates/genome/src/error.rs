@@ -73,7 +73,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GenomeError::InvalidCharacter { line: 3, found: '!' };
+        let e = GenomeError::InvalidCharacter {
+            line: 3,
+            found: '!',
+        };
         assert!(e.to_string().contains("line 3"));
         let e = GenomeError::BadKmerLength(40);
         assert!(e.to_string().contains("40"));

@@ -121,7 +121,10 @@ mod tests {
         let err = read_fasta(Cursor::new(">x\nACGT\nAXGT\n")).unwrap_err();
         assert!(matches!(
             err,
-            GenomeError::InvalidCharacter { line: 3, found: 'X' }
+            GenomeError::InvalidCharacter {
+                line: 3,
+                found: 'X'
+            }
         ));
     }
 

@@ -57,7 +57,10 @@ impl KmerIndex {
     /// Build the index over a reference sequence.
     pub fn build(genome: &DnaSeq, config: IndexConfig) -> Result<KmerIndex, GenomeError> {
         assert!(config.stride >= 1, "stride must be at least 1");
-        assert!(config.max_occurrences >= 1, "max_occurrences must be at least 1");
+        assert!(
+            config.max_occurrences >= 1,
+            "max_occurrences must be at least 1"
+        );
         assert!(
             genome.len() <= u32::MAX as usize,
             "positions are stored as u32"
@@ -131,10 +134,7 @@ impl KmerIndex {
     /// `(query_offset, genome_position)` pairs. The caller converts these
     /// into candidate alignment windows by diagonal (genome_position -
     /// query_offset).
-    pub fn seed_hits<'a>(
-        &'a self,
-        query: &'a DnaSeq,
-    ) -> impl Iterator<Item = (usize, u32)> + 'a {
+    pub fn seed_hits<'a>(&'a self, query: &'a DnaSeq) -> impl Iterator<Item = (usize, u32)> + 'a {
         KmerIter::new(query, self.config.k)
             .into_iter()
             .flatten()
@@ -149,8 +149,8 @@ impl KmerIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kmer::Kmer;
     use crate::alphabet::Base;
+    use crate::kmer::Kmer;
 
     fn seq(s: &str) -> DnaSeq {
         s.parse().unwrap()

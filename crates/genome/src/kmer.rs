@@ -104,7 +104,11 @@ impl<'a> KmerIter<'a> {
         if k == 0 || k > 32 {
             return Err(GenomeError::BadKmerLength(k));
         }
-        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
         Ok(KmerIter {
             seq,
             k,
@@ -163,7 +167,12 @@ mod tests {
 
     #[test]
     fn pack_unpack_round_trip() {
-        for s in ["A", "ACGT", "TTTTTTTTTT", "ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+        for s in [
+            "A",
+            "ACGT",
+            "TTTTTTTTTT",
+            "ACGTACGTACGTACGTACGTACGTACGTACGT",
+        ] {
             assert_eq!(kmer(s).to_string(), s);
         }
     }
@@ -180,7 +189,10 @@ mod tests {
     fn reverse_complement() {
         assert_eq!(kmer("ACGT").reverse_complement(), kmer("ACGT"));
         assert_eq!(kmer("AAAC").reverse_complement(), kmer("GTTT"));
-        assert_eq!(kmer("AAAC").reverse_complement().reverse_complement(), kmer("AAAC"));
+        assert_eq!(
+            kmer("AAAC").reverse_complement().reverse_complement(),
+            kmer("AAAC")
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl PackedSeq {
     /// The base at `pos` (`None` = `N`). Panics when out of bounds.
     #[inline]
     pub fn get(&self, pos: usize) -> Option<Base> {
-        assert!(pos < self.len, "position {pos} out of bounds ({})", self.len);
+        assert!(
+            pos < self.len,
+            "position {pos} out of bounds ({})",
+            self.len
+        );
         if self.n_mask[pos / 8] & (1 << (pos % 8)) != 0 {
             None
         } else {

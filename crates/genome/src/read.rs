@@ -107,7 +107,11 @@ mod tests {
         let r = SequencedRead::new("bad", "ACGT".parse().unwrap(), vec![30; 3]);
         assert!(matches!(
             r,
-            Err(GenomeError::QualityLengthMismatch { seq_len: 4, qual_len: 3, .. })
+            Err(GenomeError::QualityLengthMismatch {
+                seq_len: 4,
+                qual_len: 3,
+                ..
+            })
         ));
     }
 

@@ -45,10 +45,7 @@ impl Region {
 
     /// Grow by `pad` on both sides, clamped to `[0, limit)`.
     pub fn padded(&self, pad: usize, limit: usize) -> Region {
-        Region::new(
-            self.start.saturating_sub(pad),
-            (self.end + pad).min(limit),
-        )
+        Region::new(self.start.saturating_sub(pad), (self.end + pad).min(limit))
     }
 
     /// Split `[0, total)` into `n` near-equal contiguous shards (the

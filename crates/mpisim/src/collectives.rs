@@ -57,9 +57,9 @@ impl Rank {
         if self.id() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv::<T>(src, tag));
+                    *slot = Some(self.recv::<T>(src, tag));
                 }
             }
             Some(out.into_iter().map(Option::unwrap).collect())
@@ -161,9 +161,7 @@ mod tests {
     fn reduce_folds_in_rank_order() {
         let world = World::new(4);
         // Non-commutative op: string concatenation — detects ordering.
-        let got = world.run(|rank| {
-            rank.reduce(0, format!("{}", rank.id()), |a, b| a + &b)
-        });
+        let got = world.run(|rank| rank.reduce(0, format!("{}", rank.id()), |a, b| a + &b));
         assert_eq!(got[0], Some("0123".to_string()));
     }
 

@@ -14,7 +14,11 @@
 /// kernel interface is unavailable.
 pub fn thread_cpu_seconds() -> Option<f64> {
     if let Ok(text) = std::fs::read_to_string("/proc/thread-self/schedstat") {
-        if let Some(ns) = text.split_whitespace().next().and_then(|f| f.parse::<u64>().ok()) {
+        if let Some(ns) = text
+            .split_whitespace()
+            .next()
+            .and_then(|f| f.parse::<u64>().ok())
+        {
             return Some(ns as f64 / 1e9);
         }
     }
@@ -26,8 +30,7 @@ pub fn thread_cpu_seconds() -> Option<f64> {
             // `rest` starts at field 3 ("state"), so utime/stime are at
             // indices 11 and 12.
             if fields.len() > 12 {
-                if let (Ok(ut), Ok(st)) = (fields[11].parse::<u64>(), fields[12].parse::<u64>())
-                {
+                if let (Ok(ut), Ok(st)) = (fields[11].parse::<u64>(), fields[12].parse::<u64>()) {
                     const TICKS_PER_SEC: f64 = 100.0; // Linux USER_HZ
                     return Some((ut + st) as f64 / TICKS_PER_SEC);
                 }
@@ -90,10 +93,7 @@ mod tests {
         let timer = ThreadCpuTimer::start();
         std::thread::sleep(std::time::Duration::from_millis(120));
         let t = timer.elapsed();
-        assert!(
-            t < 0.05,
-            "sleep should not count as CPU time, got {t}"
-        );
+        assert!(t < 0.05, "sleep should not count as CPU time, got {t}");
     }
 
     #[test]

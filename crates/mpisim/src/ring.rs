@@ -55,8 +55,7 @@ impl Rank {
         for s in 0..n - 1 {
             let send_chunk = (me + n - s) % n;
             let recv_chunk = (me + n - s - 1) % n;
-            let payload: Vec<T> =
-                data[bounds[send_chunk]..bounds[send_chunk + 1]].to_vec();
+            let payload: Vec<T> = data[bounds[send_chunk]..bounds[send_chunk + 1]].to_vec();
             self.send_internal(next, tag_base + s as u64, payload);
             let incoming: Vec<T> = self.recv(prev, tag_base + s as u64);
             let range = bounds[recv_chunk]..bounds[recv_chunk + 1];
@@ -69,8 +68,7 @@ impl Rank {
         for s in 0..n - 1 {
             let send_chunk = (me + 1 + n - s) % n;
             let recv_chunk = (me + n - s) % n;
-            let payload: Vec<T> =
-                data[bounds[send_chunk]..bounds[send_chunk + 1]].to_vec();
+            let payload: Vec<T> = data[bounds[send_chunk]..bounds[send_chunk + 1]].to_vec();
             self.send_internal(next, tag_base + (n + s) as u64, payload);
             let incoming: Vec<T> = self.recv(prev, tag_base + (n + s) as u64);
             data[bounds[recv_chunk]..bounds[recv_chunk + 1]].clone_from_slice(&incoming);

@@ -14,7 +14,8 @@ pub(crate) struct SharedStats {
 impl SharedStats {
     pub fn record_send(&self, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
-        self.payload_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.payload_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> TrafficStats {

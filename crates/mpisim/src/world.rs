@@ -223,10 +223,7 @@ impl Rank {
 
     fn downcast<T: 'static>(env: Envelope) -> T {
         *env.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "type mismatch receiving (src {}, tag {})",
-                env.src, env.tag
-            )
+            panic!("type mismatch receiving (src {}, tag {})", env.src, env.tag)
         })
     }
 
@@ -326,7 +323,11 @@ mod tests {
         let world = World::new(3);
         let (_, report) = world.run_with_report(|rank| {
             // Rank 2 does noticeably more work than the others.
-            let rounds = if rank.id() == 2 { 12_000_000u64 } else { 50_000 };
+            let rounds = if rank.id() == 2 {
+                12_000_000u64
+            } else {
+                50_000
+            };
             let mut acc = 0u64;
             for i in 0..rounds {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);

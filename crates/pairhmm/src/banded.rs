@@ -114,8 +114,7 @@ pub fn banded_backward(emit: &[Vec<f64>], params: &PhmmParams, w: usize) -> Back
             }
             let diag = emit_at(i, j);
             let bm_diag = get(&t.m, i + 1, j + 1);
-            let bm =
-                diag * t_mm * bm_diag + q * t_mg * (get(&t.x, i + 1, j) + get(&t.y, i, j + 1));
+            let bm = diag * t_mm * bm_diag + q * t_mg * (get(&t.x, i + 1, j) + get(&t.y, i, j + 1));
             let bx = diag * t_gm * bm_diag + q * t_gg * get(&t.x, i + 1, j);
             let by = diag * t_gm * bm_diag + q * t_gg * get(&t.y, i, j + 1);
             t.m.set(i, j, bm);

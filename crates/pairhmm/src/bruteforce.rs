@@ -149,7 +149,14 @@ mod tests {
     #[test]
     fn oracle_total_matches_forward() {
         let params = PhmmParams::with_gap_rates(0.06, 0.55, 0.04);
-        for (n, m, seed) in [(1, 1, 0), (2, 2, 1), (3, 4, 2), (4, 3, 3), (5, 5, 4), (6, 4, 5)] {
+        for (n, m, seed) in [
+            (1, 1, 0),
+            (2, 2, 1),
+            (3, 4, 2),
+            (4, 3, 3),
+            (5, 5, 4),
+            (6, 4, 5),
+        ] {
             let emit = varied_emit(n, m, seed);
             let oracle = enumerate(&emit, &params);
             let f = forward(&emit, &params);

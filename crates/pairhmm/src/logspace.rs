@@ -96,11 +96,7 @@ pub fn log_forward(emit: &[Vec<f64>], params: &PhmmParams) -> LogForwardResult {
         }
     }
 
-    let log_total = log_add3(
-        fm.get(n, m_len),
-        fx.get(n, m_len),
-        fy.get(n, m_len),
-    );
+    let log_total = log_add3(fm.get(n, m_len), fx.get(n, m_len), fy.get(n, m_len));
     LogForwardResult {
         m: fm,
         x: fx,

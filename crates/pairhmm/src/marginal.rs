@@ -150,8 +150,8 @@ impl PosteriorAlignment {
             for (j, col) in cols.iter_mut().enumerate() {
                 let pm = self.match_posterior(i, j + 1);
                 if pm > 0.0 {
-                    for k in 0..4 {
-                        col.probs[k] += pm * r[k];
+                    for (p, rk) in col.probs.iter_mut().zip(r) {
+                        *p += pm * rk;
                     }
                 }
                 let pd = self.deletion_posterior(i, j + 1);
@@ -169,7 +169,9 @@ mod tests {
     use genome::read::SequencedRead;
 
     fn window(s: &str) -> Vec<Option<Base>> {
-        s.bytes().map(|c| Base::try_from_ascii(c).unwrap()).collect()
+        s.bytes()
+            .map(|c| Base::try_from_ascii(c).unwrap())
+            .collect()
     }
 
     fn read(seq: &str, q: u8) -> SequencedRead {
@@ -286,10 +288,8 @@ mod tests {
         let pwm_hi = Pwm::from_read(&hi);
         let pwm_lo = Pwm::from_read(&lo);
         let w = window("ACGTA");
-        let cols_hi =
-            PosteriorAlignment::compute(&pwm_hi, &w, &params).column_posteriors(&pwm_hi);
-        let cols_lo =
-            PosteriorAlignment::compute(&pwm_lo, &w, &params).column_posteriors(&pwm_lo);
+        let cols_hi = PosteriorAlignment::compute(&pwm_hi, &w, &params).column_posteriors(&pwm_hi);
+        let cols_lo = PosteriorAlignment::compute(&pwm_lo, &w, &params).column_posteriors(&pwm_lo);
         // Middle column: the high-quality read is more certain about G.
         assert!(cols_hi[2].probs[Base::G.index()] > cols_lo[2].probs[Base::G.index()]);
     }

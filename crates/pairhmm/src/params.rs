@@ -139,18 +139,24 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_sums() {
-        let mut p = PhmmParams::default();
-        p.t_mm = 0.5;
+        let p = PhmmParams {
+            t_mm: 0.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = PhmmParams::default();
-        p.t_gg = 0.9;
+        let p = PhmmParams {
+            t_gg: 0.9,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn validation_catches_non_probabilities() {
-        let mut p = PhmmParams::default();
-        p.q = 1.5;
+        let mut p = PhmmParams {
+            q: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
         p.q = f64::NAN;
         assert!(p.validate().is_err());

@@ -95,11 +95,7 @@ impl Pwm {
 
     /// Precompute `p*(i, j)` for all read positions against a genome
     /// window, returned row-major `[i][j]`.
-    pub fn emission_table(
-        &self,
-        window: &[Option<Base>],
-        params: &PhmmParams,
-    ) -> Vec<Vec<f64>> {
+    pub fn emission_table(&self, window: &[Option<Base>], params: &PhmmParams) -> Vec<Vec<f64>> {
         (0..self.len())
             .map(|i| {
                 window
@@ -119,12 +115,8 @@ mod tests {
     fn certain_pwm_reduces_to_plain_emission() {
         let p = PhmmParams::default();
         let pwm = Pwm::certain(&[Base::A, Base::G]);
-        assert!(
-            (pwm.blended_emission(0, Some(Base::A), &p) - p.emission(0, 0)).abs() < 1e-15
-        );
-        assert!(
-            (pwm.blended_emission(1, Some(Base::T), &p) - p.emission(2, 3)).abs() < 1e-15
-        );
+        assert!((pwm.blended_emission(0, Some(Base::A), &p) - p.emission(0, 0)).abs() < 1e-15);
+        assert!((pwm.blended_emission(1, Some(Base::T), &p) - p.emission(2, 3)).abs() < 1e-15);
     }
 
     #[test]

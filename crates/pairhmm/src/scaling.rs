@@ -56,11 +56,7 @@ pub fn scaled_forward(emit: &[Vec<f64>], params: &PhmmParams) -> ScaledForwardRe
             t.y.set(i, j, fy);
         }
         // Renormalise the completed row across all three states.
-        let row_max = t
-            .m
-            .row_max(i)
-            .max(t.x.row_max(i))
-            .max(t.y.row_max(i));
+        let row_max = t.m.row_max(i).max(t.x.row_max(i)).max(t.y.row_max(i));
         if row_max > 0.0 {
             let inv = 1.0 / row_max;
             t.m.scale_row(i, inv);
@@ -136,10 +132,7 @@ mod tests {
     fn zero_probability_pair_reports_neg_infinity() {
         let params = PhmmParams::default();
         let emit = vec![vec![0.0; 3]; 3];
-        assert_eq!(
-            scaled_forward(&emit, &params).log_total,
-            f64::NEG_INFINITY
-        );
+        assert_eq!(scaled_forward(&emit, &params).log_total, f64::NEG_INFINITY);
     }
 
     #[test]

@@ -107,8 +107,7 @@ pub fn viterbi(emit: &[Vec<f64>], params: &PhmmParams) -> Alignment {
     }
 
     // Terminal: best of the three states at (N, M).
-    let (mut state, probability) =
-        argmax3([vm.get(n, m), vx.get(n, m), vy.get(n, m)]);
+    let (mut state, probability) = argmax3([vm.get(n, m), vx.get(n, m), vy.get(n, m)]);
 
     // Traceback.
     let mut ops = Vec::with_capacity(n + m);
@@ -207,13 +206,8 @@ mod tests {
         for (r, g) in [("ACGT", "ACGT"), ("ACGTT", "ACG"), ("AC", "ACGTT")] {
             let emit = emit_for(r, g, 30, &params);
             let a = viterbi(&emit, &params);
-            let consumed_read: usize = a
-                .ops
-                .iter()
-                .filter(|&&o| o != AlignOp::DelGenome)
-                .count();
-            let consumed_genome: usize =
-                a.ops.iter().filter(|&&o| o != AlignOp::InsRead).count();
+            let consumed_read: usize = a.ops.iter().filter(|&&o| o != AlignOp::DelGenome).count();
+            let consumed_genome: usize = a.ops.iter().filter(|&&o| o != AlignOp::InsRead).count();
             assert_eq!(consumed_read, r.len());
             assert_eq!(consumed_genome, g.len());
         }

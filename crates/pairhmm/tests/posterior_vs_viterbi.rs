@@ -11,18 +11,9 @@ use pairhmm::params::PhmmParams;
 use pairhmm::pwm::Pwm;
 use pairhmm::viterbi::{viterbi, AlignOp};
 
-fn emit_for(
-    read_s: &str,
-    genome_s: &str,
-    q: u8,
-    params: &PhmmParams,
-) -> (Vec<Vec<f64>>, Pwm) {
+fn emit_for(read_s: &str, genome_s: &str, q: u8, params: &PhmmParams) -> (Vec<Vec<f64>>, Pwm) {
     let read = SequencedRead::with_uniform_quality("r", read_s.parse().unwrap(), q);
-    let window: Vec<Option<Base>> = genome_s
-        .parse::<DnaSeq>()
-        .unwrap()
-        .iter()
-        .collect();
+    let window: Vec<Option<Base>> = genome_s.parse::<DnaSeq>().unwrap().iter().collect();
     let pwm = Pwm::from_read(&read);
     (pwm.emission_table(&window, params), pwm)
 }
@@ -77,7 +68,9 @@ fn posterior_argmax_matches_viterbi_through_an_indel() {
         .filter(|&&o| o != AlignOp::InsRead)
         .count();
     let post = PosteriorAlignment::from_emissions(&emit, &params);
-    let del_mass: f64 = (1..=14).map(|i| post.deletion_posterior(i, skipped_col)).sum();
+    let del_mass: f64 = (1..=14)
+        .map(|i| post.deletion_posterior(i, skipped_col))
+        .sum();
     assert!(
         del_mass > 0.5,
         "deletion mass at column {skipped_col} should dominate: {del_mass}"

@@ -19,10 +19,7 @@ fn params_strategy() -> impl Strategy<Value = PhmmParams> {
 /// Random emission table with entries in (0, 1].
 fn emit_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1..=max_n, 1..=max_m).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0.01f64..1.0, m),
-            n,
-        )
+        proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), n)
     })
 }
 

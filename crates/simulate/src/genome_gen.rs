@@ -10,7 +10,7 @@
 
 use genome::alphabet::Base;
 use genome::seq::DnaSeq;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Configuration for [`generate_genome`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,7 +106,7 @@ pub(crate) fn mutate_base<R: Rng>(b: Base, rng: &mut R) -> Base {
         Base::G => [Base::A, Base::C, Base::T],
         Base::T => [Base::A, Base::C, Base::G],
     };
-    others[rng.random_range(0..3)]
+    others[rng.random_range(0..3usize)]
 }
 
 #[cfg(test)]

@@ -25,6 +25,9 @@ pub mod reads;
 pub mod snp;
 
 pub use error_profile::ErrorProfile;
-pub use genome_gen::{GenomeConfig, generate_genome};
+pub use genome_gen::{generate_genome, GenomeConfig};
 pub use reads::{simulate_reads, ReadSimConfig};
-pub use snp::{apply_snps_diploid, apply_snps_monoploid, generate_snp_catalog, PlantedSnp, SnpCatalogConfig, Zygosity};
+pub use snp::{
+    apply_snps_diploid, apply_snps_monoploid, generate_snp_catalog, PlantedSnp, SnpCatalogConfig,
+    Zygosity,
+};

@@ -12,7 +12,7 @@ use crate::genome_gen::mutate_base;
 use genome::diploid::DiploidGenome;
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Configuration for [`simulate_reads`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,8 +165,7 @@ pub fn simulate_reads<R: Rng>(
                 quals.push(config.profile.quality_at(i, config.read_length));
                 continue;
             }
-            if has_indels && template < fragment.len() && rng.random_bool(config.deletion_rate)
-            {
+            if has_indels && template < fragment.len() && rng.random_bool(config.deletion_rate) {
                 deletions += 1;
                 template += 1;
                 continue;
@@ -339,7 +338,6 @@ mod tests {
         assert_eq!(a, b);
     }
 
-
     #[test]
     fn indel_rates_are_respected() {
         let g = test_genome(20_000);
@@ -403,17 +401,17 @@ mod tests {
             .find(|r| r.origin.deletions > 0 && !r.origin.reverse)
             .expect("some forward read should carry a deletion");
         let d = with_del.origin.deletions;
-        let template = g.window(
-            with_del.origin.start,
-            with_del.origin.start + 40 + d,
-        );
+        let template = g.window(with_del.origin.start, with_del.origin.start + 40 + d);
         // Every read base must appear in the template in order (subsequence).
         let mut t = 0usize;
         for b in with_del.read.seq.iter() {
             while t < template.len() && template.get(t) != b {
                 t += 1;
             }
-            assert!(t < template.len(), "read is not a subsequence of its template");
+            assert!(
+                t < template.len(),
+                "read is not a subsequence of its template"
+            );
             t += 1;
         }
     }

@@ -11,7 +11,7 @@
 use genome::alphabet::Base;
 use genome::diploid::DiploidGenome;
 use genome::seq::DnaSeq;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Zygosity of a planted diploid SNP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +97,7 @@ pub fn generate_snp_catalog<R: Rng>(
             reference_base.transition()
         } else {
             let tv = reference_base.transversions();
-            tv[rng.random_range(0..2)]
+            tv[rng.random_range(0..2usize)]
         };
         let zygosity = if rng.random_bool(config.heterozygous_fraction) {
             Zygosity::Heterozygous
@@ -228,9 +228,7 @@ mod tests {
         );
         let transitions = snps
             .iter()
-            .filter(|s| {
-                classify_substitution(s.reference, s.alt) == Some(Substitution::Transition)
-            })
+            .filter(|s| classify_substitution(s.reference, s.alt) == Some(Substitution::Transition))
             .count();
         let frac = transitions as f64 / snps.len() as f64;
         assert!(
@@ -294,8 +292,7 @@ mod tests {
         }
         assert!(het_seen > 50, "expected a het fraction near one half");
         // Outside SNP sites the haplotypes equal the reference.
-        let snp_positions: std::collections::HashSet<usize> =
-            snps.iter().map(|s| s.pos).collect();
+        let snp_positions: std::collections::HashSet<usize> = snps.iter().map(|s| s.pos).collect();
         for p in (0..g.len()).step_by(97) {
             if !snp_positions.contains(&p) {
                 assert_eq!(d.maternal.get(p), g.get(p));

@@ -53,7 +53,11 @@ impl ChiSquared {
     /// Probability density function.
     pub fn pdf(&self, x: f64) -> f64 {
         if x < 0.0 || (x == 0.0 && self.k < 2.0) {
-            return if x == 0.0 && self.k < 2.0 { f64::INFINITY } else { 0.0 };
+            return if x == 0.0 && self.k < 2.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         if x == 0.0 {
             return if self.k == 2.0 { 0.5 } else { 0.0 };

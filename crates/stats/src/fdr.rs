@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn adjusted_p_equivalence() {
         // Rejecting adj <= q must equal the direct BH rejection set.
-        let p = [0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205, 0.5, 0.99];
+        let p = [
+            0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205, 0.5, 0.99,
+        ];
         for &q in &[0.01, 0.05, 0.1, 0.25] {
             let direct: Vec<usize> = benjamini_hochberg(&p, q);
             let adj = bh_adjust(&p);

@@ -44,12 +44,7 @@ impl BaseCounts {
     /// the ordering is deterministic).
     pub fn order_desc(&self) -> [usize; NUM_SYMBOLS] {
         let mut idx = [0usize, 1, 2, 3, 4];
-        idx.sort_by(|&a, &b| {
-            self.0[b]
-                .partial_cmp(&self.0[a])
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.0[b].partial_cmp(&self.0[a]).unwrap().then(a.cmp(&b)));
         idx
     }
 
@@ -188,12 +183,7 @@ pub fn diploid_lrt(z: &BaseCounts) -> Option<LrtOutcome> {
     let statistic = (-2.0 * log_lambda).max(0.0);
 
     let p_het = ChiSquared::one().sf(het_gain);
-    Some(outcome(
-        statistic,
-        order,
-        alt,
-        Some((5.0 * p_het).min(1.0)),
-    ))
+    Some(outcome(statistic, order, alt, Some((5.0 * p_het).min(1.0))))
 }
 
 /// Run the LRT selected by `ploidy`.
@@ -237,8 +227,7 @@ mod tests {
     fn monoploid_matches_hand_computation() {
         let z = BaseCounts::new([14.0, 1.0, 3.0, 2.0, 0.0]);
         let out = monoploid_lrt(&z).unwrap();
-        let expected = -2.0
-            * (20.0 * 0.2f64.ln() - (14.0 * 0.7f64.ln() + 6.0 * 0.075f64.ln()));
+        let expected = -2.0 * (20.0 * 0.2f64.ln() - (14.0 * 0.7f64.ln() + 6.0 * 0.075f64.ln()));
         close(out.statistic, expected, 1e-12);
         assert_eq!(out.best, 0); // A dominates
         assert_eq!(out.second, 2); // then G

@@ -101,7 +101,6 @@ impl NegativeMultinomial {
 
 /// Marsaglia–Tsang gamma sampler, shape `a > 0`, scale 1.
 pub fn sample_gamma<R: rand::Rng>(a: f64, rng: &mut R) -> f64 {
-    use rand::RngExt;
     assert!(a > 0.0, "shape must be positive");
     if a < 1.0 {
         // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
@@ -128,7 +127,6 @@ pub fn sample_gamma<R: rand::Rng>(a: f64, rng: &mut R) -> f64 {
 /// Poisson sampler: Knuth's product method for small means, normal
 /// approximation with continuity correction for large ones.
 pub fn sample_poisson<R: rand::Rng>(lambda: f64, rng: &mut R) -> u64 {
-    use rand::RngExt;
     assert!(lambda >= 0.0, "mean must be non-negative");
     if lambda == 0.0 {
         return 0;
@@ -232,8 +230,14 @@ mod tests {
             }
             let mean = sum / n as f64;
             let var = sum2 / n as f64 - mean * mean;
-            assert!((mean - shape).abs() / shape < 0.05, "shape {shape}: mean {mean}");
-            assert!((var - shape).abs() / shape < 0.12, "shape {shape}: var {var}");
+            assert!(
+                (mean - shape).abs() / shape < 0.05,
+                "shape {shape}: mean {mean}"
+            );
+            assert!(
+                (var - shape).abs() / shape < 0.12,
+                "shape {shape}: var {var}"
+            );
         }
     }
 

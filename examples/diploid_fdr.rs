@@ -82,16 +82,16 @@ fn main() {
             Some(second) => format!("{}/{}", call.allele, second),
             None => format!("{}/{}", call.allele, call.allele),
         };
-        let truth = snps.iter().find(|s| s.pos == call.pos).map_or(
-            "false positive".to_string(),
-            |s| {
-                let zygo = match s.zygosity {
-                    Zygosity::Heterozygous => "het",
-                    Zygosity::Homozygous => "hom",
-                };
-                format!("planted {} {}→{}", zygo, s.reference, s.alt)
-            },
-        );
+        let truth =
+            snps.iter()
+                .find(|s| s.pos == call.pos)
+                .map_or("false positive".to_string(), |s| {
+                    let zygo = match s.zygosity {
+                        Zygosity::Heterozygous => "het",
+                        Zygosity::Homozygous => "hom",
+                    };
+                    format!("planted {} {}→{}", zygo, s.reference, s.alt)
+                });
         println!(
             "{:>9}  {:>3}  {:>8}  {:>9.2e}  {truth}",
             call.pos, call.reference, genotype, call.p_adjusted

@@ -48,10 +48,17 @@ fn main() {
     let cfg = GnumapConfig::default();
     let ranks = 4;
 
-    println!("workload: {} bp genome, {} reads, {} ranks\n", reference.len(), reads.len(), ranks);
+    println!(
+        "workload: {} bp genome, {} reads, {} ranks\n",
+        reference.len(),
+        reads.len(),
+        ranks
+    );
 
-    let shared = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
-    let spread = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+    let shared = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks)
+        .expect("call wire intact");
+    let spread = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, ranks)
+        .expect("call wire intact");
 
     for (name, report, per_rank_note) in [
         (
@@ -68,15 +75,20 @@ fn main() {
         let traffic = report.traffic.unwrap();
         println!("{name}:");
         println!("  calls            : {}", report.calls.len());
-        println!("  wall time        : {:.2}s ({:.0} seqs/sec)", report.elapsed_secs, report.seqs_per_sec());
-        println!("  accumulator bytes: {} ({per_rank_note})", report.accumulator_bytes);
+        println!(
+            "  wall time        : {:.2}s ({:.0} seqs/sec)",
+            report.elapsed_secs,
+            report.seqs_per_sec()
+        );
+        println!(
+            "  accumulator bytes: {} ({per_rank_note})",
+            report.accumulator_bytes
+        );
         println!("  traffic          : {traffic}\n");
     }
 
-    let shared_calls: Vec<(usize, Base)> =
-        shared.calls.iter().map(|c| (c.pos, c.allele)).collect();
-    let spread_calls: Vec<(usize, Base)> =
-        spread.calls.iter().map(|c| (c.pos, c.allele)).collect();
+    let shared_calls: Vec<(usize, Base)> = shared.calls.iter().map(|c| (c.pos, c.allele)).collect();
+    let spread_calls: Vec<(usize, Base)> = spread.calls.iter().map(|c| (c.pos, c.allele)).collect();
     println!(
         "decomposition-independence: calls identical = {}",
         shared_calls == spread_calls

@@ -71,7 +71,9 @@ fn main() {
             print!(" {:>7.4}", col.probs[k]);
         }
         // Mark the consensus symbol.
-        let best = (0..5).max_by(|&a, &b| col.probs[a].total_cmp(&col.probs[b])).unwrap();
+        let best = (0..5)
+            .max_by(|&a, &b| col.probs[a].total_cmp(&col.probs[b]))
+            .unwrap();
         let label = if best < 4 {
             BASES[best].to_char().to_string()
         } else {

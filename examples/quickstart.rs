@@ -68,7 +68,10 @@ fn main() {
 
     // 5. Print the calls annotated against the truth.
     let truth: Vec<_> = snps.iter().map(|s| (s.pos, s.alt)).collect();
-    println!("{:>9}  {:>3}  {:>6}  {:>10}  {:>9}  verdict", "pos", "ref", "called", "-2logλ", "p(adj)");
+    println!(
+        "{:>9}  {:>3}  {:>6}  {:>10}  {:>9}  verdict",
+        "pos", "ref", "called", "-2logλ", "p(adj)"
+    );
     for call in &report.calls {
         let verdict = match truth.iter().find(|&&(p, _)| p == call.pos) {
             Some(&(_, alt)) if call.carries(alt) => "TRUE POSITIVE",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints-as-errors, then the tier-1
+# build + test pass and the remaining workspace tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: build + test"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test -q --workspace
+
+echo "CI gate passed."

@@ -1,0 +1,369 @@
+//! MPMC channels: unbounded or bounded with blocking backpressure.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Queue went non-empty or all senders disconnected.
+    readable: Condvar,
+    /// Queue went non-full or all receivers disconnected.
+    writable: Condvar,
+    /// `usize::MAX` for unbounded channels.
+    capacity: usize,
+}
+
+/// The sending half of a channel. Cloning adds a producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloning adds a consumer.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is handed back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Nothing queued and every sender is gone.
+    Disconnected,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+/// Create a bounded channel: `send` blocks while `cap` messages queue.
+/// A zero capacity is rounded up to one (rendezvous channels are not
+/// needed by this workspace).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(cap.max(1))
+}
+
+fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Queue `value`, blocking while the channel is full. Fails only when
+    /// every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < shared.capacity {
+                state.queue.push_back(value);
+                shared.readable.notify_one();
+                return Ok(());
+            }
+            state = shared
+                .writable
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Number of queued messages (snapshot).
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Take the next message, blocking while the channel is empty. Fails
+    /// once the channel is empty **and** every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                shared.writable.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = shared
+                .readable
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Take the next message if one is queued right now.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match state.queue.pop_front() {
+            Some(value) => {
+                shared.writable.notify_one();
+                Ok(value)
+            }
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of queued messages (snapshot).
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+/// Iterator over received messages (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.senders -= 1;
+        if state.senders == 0 {
+            self.shared.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            self.shared.writable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = bounded::<usize>(2);
+        tx.send(0).unwrap();
+        tx.send(1).unwrap();
+        // Third send must block until a recv frees a slot.
+        let producer = thread::spawn(move || {
+            tx.send(2).unwrap();
+            "sent"
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert!(!producer.is_finished(), "send should be blocked on full");
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(producer.join().unwrap(), "sent");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_once() {
+        let (tx, rx) = bounded::<usize>(4);
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(p * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iterator_drains_until_disconnect() {
+        let (tx, rx) = unbounded();
+        thread::spawn(move || {
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

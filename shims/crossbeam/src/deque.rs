@@ -1,0 +1,232 @@
+//! Work-stealing deque: the `Injector` / `Worker` / `Stealer` triple.
+//!
+//! Backed by mutex-protected `VecDeque`s rather than lock-free buffers;
+//! the API contract (LIFO-ish local pops, FIFO steals, `Steal::Retry`
+//! under contention) is preserved for the handful of worker threads this
+//! workspace spawns.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// Lost a race; try again.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// A global FIFO queue every worker can push to and steal from.
+pub struct Injector<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Queue a task at the back.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+    }
+
+    /// Take a task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks (snapshot).
+    pub fn len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the queue is empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A worker-local queue: its owner pushes and pops at the back, thieves
+/// steal from the front via [`Stealer`] handles.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// New FIFO worker queue (`pop` takes the oldest task).
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Queue a task.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+    }
+
+    /// Take the next local task.
+    pub fn pop(&self) -> Option<T> {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// A handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Number of queued tasks (snapshot).
+    pub fn len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the queue is empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Stealing handle onto a [`Worker`]'s queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Take a task from the front of the victim's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty::<i32>);
+    }
+
+    #[test]
+    fn stealer_drains_worker() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(s.steal().success(), Some(0));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal().success(), Some(2));
+        assert_eq!(s.steal().success(), Some(3));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_take_each_task_once() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..1000usize {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = Arc::clone(&inj);
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match inj.steal() {
+                        Steal::Success(task) => got.push(task),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,50 @@
+//! Small helpers mirrored from `crossbeam-utils`.
+
+use std::thread;
+
+/// Exponential backoff for spin loops.
+pub struct Backoff {
+    step: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::new()
+    }
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+
+    /// New backoff in the spinning stage.
+    pub fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    /// Reset to the spinning stage.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Busy-wait briefly; escalates with each call.
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.min(Self::SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Back off, yielding the thread once past the spin stage.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            self.spin();
+        } else {
+            thread::yield_now();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Whether a waiter should switch to blocking (parking) instead.
+    pub fn is_completed(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for `proptest` (see `shims/README.md`).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_flat_map`, range / tuple / [`collection::vec`] /
+//! [`array::uniform5`] strategies, and the `proptest!` / `prop_assert!`
+//! family of macros. Cases are generated from a deterministic RNG seeded
+//! per test name, so runs are reproducible. **No shrinking**: a failing
+//! case is reported as drawn, not minimised.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element count for [`vec`]: an exact size or a sampled range.
+    #[derive(Debug, Clone, Copy)]
+    pub enum SizeSpec {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniform in `[lo, hi)`.
+        Bounds(usize, usize),
+    }
+
+    impl From<usize> for SizeSpec {
+        fn from(n: usize) -> SizeSpec {
+            SizeSpec::Exact(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeSpec {
+        fn from(r: Range<usize>) -> SizeSpec {
+            SizeSpec::Bounds(r.start, r.end)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeSpec {
+        fn from(r: RangeInclusive<usize>) -> SizeSpec {
+            SizeSpec::Bounds(*r.start(), *r.end() + 1)
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeSpec>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeSpec,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reject> {
+            let n = match self.size {
+                SizeSpec::Exact(n) => n,
+                SizeSpec::Bounds(lo, hi) => {
+                    assert!(lo < hi, "empty vec size range");
+                    rng.random_range(lo..hi)
+                }
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over fixed-size arrays (`proptest::array::uniform5`).
+pub mod array {
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// `[T; 5]` strategy with every element drawn from `element`.
+    pub fn uniform5<S: Strategy>(element: S) -> UniformArray5<S> {
+        UniformArray5 { element }
+    }
+
+    /// See [`uniform5`].
+    pub struct UniformArray5<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for UniformArray5<S> {
+        type Value = [S::Value; 5];
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<[S::Value; 5], Reject> {
+            Ok([
+                self.element.new_value(rng)?,
+                self.element.new_value(rng)?,
+                self.element.new_value(rng)?,
+                self.element.new_value(rng)?,
+                self.element.new_value(rng)?,
+            ])
+        }
+    }
+}
+
+/// The glob import test files start from.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declare property tests: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(N))]` header followed
+/// by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new_seeded(
+                $config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategy = ($($s,)+);
+            runner.run(&strategy, |($($p,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { @config ($config) $($rest)* }
+    };
+}
+
+/// Assert inside a property test; failure fails this case with a message
+/// instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard this case (does not count towards the case target).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}

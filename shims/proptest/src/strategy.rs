@@ -1,0 +1,165 @@
+//! The [`Strategy`] trait and its combinators and primitive impls.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Marker returned when a draw is filtered out; the runner redraws.
+#[derive(Debug, Clone, Copy)]
+pub struct Reject;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value, or [`Reject`] if a filter discarded the draw.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; `reason` labels the filter.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            pred,
+            _reason: reason.into(),
+        }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, O> Strategy for Map<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        self.base.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<B, F> {
+    base: B,
+    pred: F,
+    _reason: String,
+}
+
+impl<B, F> Strategy for Filter<B, F>
+where
+    B: Strategy,
+    F: Fn(&B::Value) -> bool,
+{
+    type Value = B::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<B::Value, Reject> {
+        let value = self.base.new_value(rng)?;
+        if (self.pred)(&value) {
+            Ok(value)
+        } else {
+            Err(Reject)
+        }
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, S2> Strategy for FlatMap<B, F>
+where
+    B: Strategy,
+    S2: Strategy,
+    F: Fn(B::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S2::Value, Reject> {
+        let inner = self.base.new_value(rng)?;
+        (self.f)(inner).new_value(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(rng.random_range(self.clone()))
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(rng.random_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);

@@ -1,0 +1,199 @@
+//! Case generation loop, configuration and failure protocol.
+
+use crate::strategy::{Reject, Strategy};
+use rand::SeedableRng;
+
+/// RNG driving value generation.
+pub type TestRng = rand::SmallRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Cap on discarded draws (filters + `prop_assume!`) per test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// How a single case ended, when not a plain pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case does not apply (does not count towards the target).
+    Reject(String),
+    /// The property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with this message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discard with this reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Outcome of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives a strategy + property through `config.cases` passing cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Runner with a fixed default seed.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(0x5eed_cafe_f00d_d00d),
+        }
+    }
+
+    /// Runner seeded from `salt` (the macro passes the test path), so
+    /// each test explores its own deterministic stream.
+    pub fn new_seeded(config: ProptestConfig, salt: &str) -> TestRunner {
+        // FNV-1a over the salt.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in salt.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Run `test` until `cases` draws pass; panics on the first failing
+    /// case (no shrinking) or when the reject budget is exhausted.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < self.config.cases {
+            let value = match strategy.new_value(&mut self.rng) {
+                Ok(value) => value,
+                Err(Reject) => {
+                    rejects += 1;
+                    self.check_reject_budget(rejects, passed);
+                    continue;
+                }
+            };
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    self.check_reject_budget(rejects, passed);
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("proptest case failed after {passed} passing case(s): {message}");
+                }
+            }
+        }
+    }
+
+    fn check_reject_budget(&self, rejects: u32, passed: u32) {
+        assert!(
+            rejects <= self.config.max_global_rejects,
+            "proptest gave up after {rejects} rejected draws ({passed} cases passed); \
+             loosen the filters or assumptions"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        use std::cell::Cell;
+        let hits = Cell::new(0u32);
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(&(0usize..100), |_| {
+            hits.set(hits.get() + 1);
+            Ok(())
+        });
+        assert_eq!(hits.get(), 64);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_passes() {
+        use std::cell::Cell;
+        let hits = Cell::new(0u32);
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        let strategy = (0u32..100).prop_filter("keep evens", |v| v % 2 == 0);
+        runner.run(&strategy, |v| {
+            assert_eq!(v % 2, 0);
+            hits.set(hits.get() + 1);
+            Ok(())
+        });
+        assert_eq!(hits.get(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_the_message() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        runner.run(&(0u8..4), |v| {
+            if v >= 2 {
+                return Err(TestCaseError::fail(format!("{v} too big")));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn impossible_filters_exhaust_the_budget() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 4,
+            max_global_rejects: 100,
+        });
+        let strategy = (0u32..10).prop_filter("never", |_| false);
+        runner.run(&strategy, |_| Ok(()));
+    }
+
+    #[test]
+    fn deterministic_per_salt() {
+        let draw = |salt: &str| {
+            let mut runner = TestRunner::new_seeded(ProptestConfig::with_cases(1), salt);
+            let out = std::cell::Cell::new(0u64);
+            runner.run(&(0u64..1_000_000), |v| {
+                out.set(v);
+                Ok(())
+            });
+            out.get()
+        };
+        assert_eq!(draw("a::b"), draw("a::b"));
+        assert_ne!(draw("a::b"), draw("c::d"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for `rayon` (see `shims/README.md`).
+//!
+//! Covers the slice-parallelism subset this workspace uses:
+//! `par_chunks(..).map(..).collect()` plus `ThreadPoolBuilder` /
+//! `ThreadPool::install`. The map stage really runs on scoped OS
+//! threads (one per work item, capped), so chunk-per-worker callers get
+//! genuine parallelism; there is no global pool or work splitting
+//! beyond that.
+
+use std::fmt;
+use std::thread;
+
+/// Re-exports that `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{ParallelIterator, ParallelSlice};
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The shim never actually
+/// fails to build, but the type keeps call sites source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request `num_threads` workers (0 = default).
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// A (virtual) worker pool. Threads are spawned per parallel call
+/// rather than kept resident; `install` just runs the closure, whose
+/// inner parallel iterators spawn scoped threads themselves.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` "inside" the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+}
+
+/// Conversion target for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Build the collection from results in original item order.
+    fn from_ordered_results(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_results(results: Vec<T>) -> Vec<T> {
+        results
+    }
+}
+
+/// Minimal parallel-iterator protocol: producers yield an ordered item
+/// list and `map` fans the items out across scoped threads.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing through the iterator.
+    type Item: Send;
+
+    /// Resolve to the ordered list of items.
+    fn into_ordered_results(self) -> Vec<Self::Item>;
+
+    /// Apply `f` to every item in parallel, preserving order.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Gather results in item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_results(self.into_ordered_results())
+    }
+}
+
+/// A mapped parallel iterator (see [`ParallelIterator::map`]).
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+/// Upper bound on threads spawned by one `map`; items beyond it are
+/// grouped into contiguous stripes so tiny chunk sizes stay safe.
+const MAX_MAP_THREADS: usize = 16;
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    B::Item: Send,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn into_ordered_results(self) -> Vec<R> {
+        let items = self.base.into_ordered_results();
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let f = &self.f;
+        let stripe = items.len().div_ceil(MAX_MAP_THREADS).max(1);
+        let mut stripes: Vec<Vec<B::Item>> = Vec::new();
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<B::Item> = items.by_ref().take(stripe).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            stripes.push(chunk);
+        }
+        thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("parallel map worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Slice extension providing chunked parallel iteration.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous `chunk_size` chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel chunk iterator over a slice (see [`ParallelSlice`]).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn into_ordered_results(self) -> Vec<&'a [T]> {
+        self.slice.chunks(self.chunk_size).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_chunks_map_collect_preserves_order() {
+        let data: Vec<u64> = (0..103).collect();
+        let sums: Vec<u64> = data
+            .par_chunks(10)
+            .map(|chunk| chunk.iter().sum())
+            .collect();
+        let expected: Vec<u64> = data.chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn map_runs_on_multiple_threads_when_available() {
+        let data: Vec<usize> = (0..64).collect();
+        let ids = Mutex::new(HashSet::new());
+        let _: Vec<usize> = data
+            .par_chunks(4)
+            .map(|c| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                c.len()
+            })
+            .collect();
+        // At least one worker thread ran (scoped threads are real even
+        // on a single-core host).
+        assert!(!ids.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_slice_collects_empty() {
+        let data: Vec<u8> = Vec::new();
+        let out: Vec<usize> = data.par_chunks(8).map(<[u8]>::len).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_builds_and_installs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

@@ -132,7 +132,10 @@ USAGE:
                      [--seed S] [--diploid] [--read-len N]
   gnumap call        --reference ref.fa --reads reads.fq [--out calls.vcf]
                      [--ploidy monoploid|diploid] [--alpha A | --fdr Q]
-                     [--accumulator norm|chardisc|centdisc] [--threads N]
+                     [--accumulator norm|chardisc|centdisc]
+                     [--driver serial|rayon|stream] [--threads N]
+                     [--workers N] [--batch-size N]
+                     [--checkpoint-dir DIR] [--resume]
                      [--min-coverage X] [--sample NAME]
   gnumap map         --reference ref.fa --reads reads.fq [--max N]
   gnumap evaluate    --calls calls.vcf --truth truth.tsv
@@ -141,8 +144,7 @@ USAGE:
 
 fn read_reference(path: &str) -> Result<(String, genome::DnaSeq), String> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let records =
-        fasta::read_fasta(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let records = fasta::read_fasta(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
     let record = records
         .into_iter()
         .next()
@@ -186,10 +188,20 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let count = read_cfg.read_count(genome_len);
     let reads: Vec<_> = if diploid {
         let individual = simulate::apply_snps_diploid(&reference, &catalog, &mut rng);
-        simulate_reads(&ReadSource::Diploid(&individual), count, &read_cfg, &mut rng)
+        simulate_reads(
+            &ReadSource::Diploid(&individual),
+            count,
+            &read_cfg,
+            &mut rng,
+        )
     } else {
         let individual = simulate::apply_snps_monoploid(&reference, &catalog);
-        simulate_reads(&ReadSource::Monoploid(&individual), count, &read_cfg, &mut rng)
+        simulate_reads(
+            &ReadSource::Monoploid(&individual),
+            count,
+            &read_cfg,
+            &mut rng,
+        )
     }
     .into_iter()
     .map(|r| r.read)
@@ -252,14 +264,42 @@ fn cmd_call(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let out_path = args.optional("out");
     let sample: String = args.get("sample", "sample".to_string())?;
     let ploidy_s: String = args.get("ploidy", "monoploid".to_string())?;
-    let alpha: Option<f64> = args.optional("alpha").map(|v| v.parse()).transpose()
+    let alpha: Option<f64> = args
+        .optional("alpha")
+        .map(|v| v.parse())
+        .transpose()
         .map_err(|_| "--alpha: expected a number".to_string())?;
-    let fdr: Option<f64> = args.optional("fdr").map(|v| v.parse()).transpose()
+    let fdr: Option<f64> = args
+        .optional("fdr")
+        .map(|v| v.parse())
+        .transpose()
         .map_err(|_| "--fdr: expected a number".to_string())?;
     let accumulator_s: String = args.get("accumulator", "norm".to_string())?;
     let threads: usize = args.get("threads", 1usize)?;
     let min_coverage: f64 = args.get("min-coverage", 3.0f64)?;
+    // `--threads N` (N > 1) without `--driver` keeps selecting the rayon
+    // driver, as it did before `--driver` existed.
+    let default_driver = if threads > 1 { "rayon" } else { "serial" };
+    let driver: String = args.get("driver", default_driver.to_string())?;
+    let workers: usize = args.get("workers", 2usize)?;
+    let batch_size: usize = args.get("batch-size", 64usize)?;
+    let checkpoint_dir = args.optional("checkpoint-dir");
+    let resume = args.flag("resume");
     args.reject_unknown()?;
+
+    if driver != "stream" {
+        for (given, flag) in [
+            (checkpoint_dir.is_some(), "--checkpoint-dir"),
+            (resume, "--resume"),
+        ] {
+            if given {
+                return Err(format!("{flag} only applies to --driver stream"));
+            }
+        }
+    }
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
 
     let ploidy = match ploidy_s.as_str() {
         "monoploid" | "haploid" => Ploidy::Monoploid,
@@ -280,9 +320,6 @@ fn cmd_call(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     };
 
     let (chrom, reference) = read_reference(&reference_path)?;
-    let reads_file = File::open(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
-    let reads = fastq::read_fastq(BufReader::new(reads_file))
-        .map_err(|e| format!("{reads_path}: {e}"))?;
 
     let config = GnumapConfig {
         calling: SnpCallConfig {
@@ -293,17 +330,61 @@ fn cmd_call(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         accumulator,
         ..Default::default()
     };
-    let report = if threads > 1 {
+    let load_reads = || -> Result<Vec<genome::SequencedRead>, String> {
+        let reads_file = File::open(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
+        fastq::read_fastq(BufReader::new(reads_file)).map_err(|e| format!("{reads_path}: {e}"))
+    };
+    let report = match driver.as_str() {
+        "serial" => crate::core::run_pipeline(&reference, &load_reads()?, &config),
         // The rayon shared-memory driver (NORM only; the discretized
         // accumulators' merges are order-sensitive).
-        match accumulator {
+        "rayon" => match accumulator {
             AccumulatorMode::Norm => crate::core::driver::rayon_driver::run_rayon::<
                 crate::core::accum::NormAccumulator,
-            >(&reference, &reads, &config, threads),
-            _ => return Err("--threads > 1 currently requires --accumulator norm".into()),
+            >(
+                &reference, &load_reads()?, &config, threads.max(2)
+            ),
+            _ => return Err("--driver rayon requires --accumulator norm".into()),
+        },
+        // The streaming engine reads the FASTQ incrementally and always
+        // accumulates in fixed point (bit-exact under any parallelism and
+        // across checkpoint/resume); NORM is the matching selection since
+        // fixed point quantizes the same normalized posteriors.
+        "stream" => {
+            if accumulator != AccumulatorMode::Norm {
+                return Err("--driver stream requires --accumulator norm".into());
+            }
+            let mut stream = exec::FastqStream::open(&reads_path).map_err(|e| e.to_string())?;
+            let checkpoint = match &checkpoint_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                    Some(exec::CheckpointPolicy {
+                        path: PathBuf::from(dir).join("call.ckpt"),
+                        every_batches: 64,
+                        resume,
+                    })
+                }
+                None => None,
+            };
+            let stream_config = exec::StreamConfig {
+                workers,
+                batch_size,
+                checkpoint,
+                ..Default::default()
+            };
+            exec::run_stream::<crate::core::accum::FixedAccumulator>(
+                &reference,
+                &mut stream,
+                &config,
+                &stream_config,
+            )
+            .map_err(|e| e.to_string())?
         }
-    } else {
-        crate::core::run_pipeline(&reference, &reads, &config)
+        other => {
+            return Err(format!(
+                "--driver: unknown value {other:?}; expected serial | rayon | stream"
+            ))
+        }
     };
 
     let records: Vec<_> = report
@@ -323,7 +404,29 @@ fn cmd_call(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 report.elapsed_secs,
                 records.len()
             )
-            .map_err(|e| e.to_string())
+            .map_err(|e| e.to_string())?;
+            if let Some(stats) = &report.stream {
+                writeln!(
+                    out,
+                    "stream: {} workers, {} batches (occupancy {:.2}), \
+                     {:.0} reads/cpu-sec, {} checkpoints{}",
+                    stats.workers,
+                    stats.batches_dispatched,
+                    stats.mean_batch_occupancy,
+                    crate::core::report::StreamStats::reads_per_cpu_sec(
+                        report.reads_processed,
+                        &report.rank_cpu_secs,
+                    ),
+                    stats.checkpoints_written,
+                    if stats.resumed_from_checkpoint {
+                        " (resumed)"
+                    } else {
+                        ""
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            Ok(())
         }
         None => genome::vcf::write_vcf(out, &sample, &records).map_err(|e| e.to_string()),
     }
@@ -337,8 +440,8 @@ fn cmd_map(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
     let (_, reference) = read_reference(&reference_path)?;
     let reads_file = File::open(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
-    let reads = fastq::read_fastq(BufReader::new(reads_file))
-        .map_err(|e| format!("{reads_path}: {e}"))?;
+    let reads =
+        fastq::read_fastq(BufReader::new(reads_file)).map_err(|e| format!("{reads_path}: {e}"))?;
 
     let engine = crate::core::MappingEngine::new(&reference, GnumapConfig::default().mapping);
     writeln!(out, "#read	location	strand	posterior_weight").map_err(|e| e.to_string())?;
@@ -399,8 +502,7 @@ fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         .map_err(|e| format!("{calls_path}: {e}"))?;
     let truth = read_truth(&truth_path)?;
 
-    let truth_map: std::collections::HashMap<usize, genome::Base> =
-        truth.iter().copied().collect();
+    let truth_map: std::collections::HashMap<usize, genome::Base> = truth.iter().copied().collect();
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut hit = std::collections::HashSet::new();
@@ -414,8 +516,16 @@ fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         }
     }
     let fn_ = truth.iter().filter(|(p, _)| !hit.contains(p)).count();
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let sensitivity = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let sensitivity = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     writeln!(
         out,
         "TP {tp}  FP {fp}  FN {fn_}  precision {:.1}%  sensitivity {:.1}%",
@@ -503,8 +613,7 @@ mod tests {
 
     #[test]
     fn unknown_option_rejected_after_accessors() {
-        let args = parse_args(&argv(&["index-stats", "--reference", "r", "--bogus", "1"]))
-            .unwrap();
+        let args = parse_args(&argv(&["index-stats", "--reference", "r", "--bogus", "1"])).unwrap();
         let _ = args.require("reference");
         let _ = args.get::<usize>("k", 10);
         assert!(args.reject_unknown().is_err());
@@ -549,28 +658,15 @@ mod tests {
         let fa = format!("{dirs}/reference.fa");
         let fq = format!("{dirs}/reads.fq");
         let vcf = format!("{dirs}/calls.vcf");
-        let msg = run_to_string(&[
-            "call",
-            "--reference",
-            &fa,
-            "--reads",
-            &fq,
-            "--out",
-            &vcf,
-        ])
-        .unwrap();
+        let msg =
+            run_to_string(&["call", "--reference", &fa, "--reads", &fq, "--out", &vcf]).unwrap();
         assert!(msg.contains("calls"), "{msg}");
 
         let truth = format!("{dirs}/truth.tsv");
         let eval = run_to_string(&["evaluate", "--calls", &vcf, "--truth", &truth]).unwrap();
         assert!(eval.starts_with("TP "), "{eval}");
         // At 14x on a clean 8 kb genome the caller should be near-perfect.
-        let tp: usize = eval
-            .split_whitespace()
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let tp: usize = eval.split_whitespace().nth(1).unwrap().parse().unwrap();
         assert!(tp >= 5, "evaluation: {eval}");
 
         let stats = run_to_string(&["index-stats", "--reference", &fa]).unwrap();
@@ -596,10 +692,9 @@ mod tests {
         assert!(eval2.starts_with("TP "), "{eval2}");
 
         // The map subcommand lists per-read posterior locations.
-        let tsv = run_to_string(&["map", "--reference", &fa, "--reads", &fq, "--max", "25"])
-            .unwrap();
-        let data_lines: Vec<&str> =
-            tsv.lines().filter(|l| !l.starts_with('#')).collect();
+        let tsv =
+            run_to_string(&["map", "--reference", &fa, "--reads", &fq, "--max", "25"]).unwrap();
+        let data_lines: Vec<&str> = tsv.lines().filter(|l| !l.starts_with('#')).collect();
         assert!(data_lines.len() >= 25, "{} lines", data_lines.len());
         for line in &data_lines {
             let cols: Vec<&str> = line.split('\t').collect();
@@ -609,7 +704,15 @@ mod tests {
         // Multi-threaded calling agrees with serial on the same input.
         let vcf3 = format!("{dirs}/calls_mt.vcf");
         run_to_string(&[
-            "call", "--reference", &fa, "--reads", &fq, "--out", &vcf3, "--threads", "3",
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--out",
+            &vcf3,
+            "--threads",
+            "3",
         ])
         .unwrap();
         let a = std::fs::read_to_string(&vcf).unwrap();
@@ -624,10 +727,139 @@ mod tests {
 
         // Mutually exclusive cutoffs are rejected.
         let err = run_to_string(&[
-            "call", "--reference", &fa, "--reads", &fq, "--alpha", "0.05", "--fdr", "0.05",
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--alpha",
+            "0.05",
+            "--fdr",
+            "0.05",
         ])
         .unwrap_err();
         assert!(err.contains("mutually exclusive"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_driver_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("gnumap-cli-stream-{}", std::process::id()));
+        let dirs = dir.to_str().unwrap().to_string();
+        std::fs::create_dir_all(&dir).unwrap();
+        run_to_string(&[
+            "simulate",
+            "--out-dir",
+            &dirs,
+            "--genome-len",
+            "8000",
+            "--snps",
+            "6",
+            "--coverage",
+            "14",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        let fa = format!("{dirs}/reference.fa");
+        let fq = format!("{dirs}/reads.fq");
+
+        let vcf_serial = format!("{dirs}/serial.vcf");
+        run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--out",
+            &vcf_serial,
+        ])
+        .unwrap();
+
+        let vcf_stream = format!("{dirs}/stream.vcf");
+        let ckpt = format!("{dirs}/ckpt");
+        let msg = run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--out",
+            &vcf_stream,
+            "--driver",
+            "stream",
+            "--workers",
+            "2",
+            "--batch-size",
+            "32",
+            "--checkpoint-dir",
+            &ckpt,
+        ])
+        .unwrap();
+        assert!(msg.contains("stream: 2 workers"), "{msg}");
+
+        // The streaming driver must call the same sites and alleles the
+        // serial pipeline does (fixed-point vs float scoring may move the
+        // statistics, not the calls, on this clean input).
+        let strip = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split('\t').take(5).collect::<Vec<_>>().join("\t"))
+                .collect()
+        };
+        let a = std::fs::read_to_string(&vcf_serial).unwrap();
+        let b = std::fs::read_to_string(&vcf_stream).unwrap();
+        assert_eq!(strip(&a), strip(&b), "stream driver changed the calls");
+
+        // Flag validation.
+        let err = run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--driver",
+            "stream",
+            "--accumulator",
+            "chardisc",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--accumulator norm"), "{err}");
+        let err = run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--checkpoint-dir",
+            &ckpt,
+        ])
+        .unwrap_err();
+        assert!(err.contains("--driver stream"), "{err}");
+        let err = run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--driver",
+            "stream",
+            "--resume",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--driver",
+            "warp",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown value"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -69,12 +69,11 @@ pub mod prelude {
     pub use gnumap_core::driver::rayon_driver::run_rayon;
     pub use gnumap_core::driver::read_split::run_read_split;
     pub use gnumap_core::{
-        call_snps, run_pipeline, score_snp_calls, GnumapConfig, MappingEngine, RunReport,
-        SnpCall,
+        call_snps, run_pipeline, score_snp_calls, GnumapConfig, MappingEngine, RunReport, SnpCall,
     };
     pub use gnumap_stats::lrt::Ploidy;
     pub use simulate;
 }
 
-pub use gnumap_core::{run_pipeline, GnumapConfig};
 pub use gnumap_core::report::score_snp_calls;
+pub use gnumap_core::{run_pipeline, GnumapConfig};

@@ -49,10 +49,8 @@ fn both_callers_find_snps_in_unique_sequence() {
     let g = score_snp_calls(&gnumap.calls, &truth);
 
     let maq = run_baseline(&reference, &reads, &BaselineConfig::default(), &mut rng);
-    let m = gnumap_snp::core::report::score_positions(
-        maq.snps.iter().map(|s| s.pos),
-        &truth_positions,
-    );
+    let m =
+        gnumap_snp::core::report::score_positions(maq.snps.iter().map(|s| s.pos), &truth_positions);
 
     // Paper Table I: on plain sequence the two approaches are comparable.
     assert!(g.sensitivity() >= 0.75, "gnumap {g:?}");

@@ -69,14 +69,14 @@ fn all_four_drivers_agree() {
     let rayon = run_rayon::<NormAccumulator>(&reference, &reads, &cfg, 3);
     assert_eq!(call_keys(&rayon.calls), serial_keys, "rayon differs");
 
-    let read_split = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 3);
+    let read_split = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 3).unwrap();
     assert_eq!(
         call_keys(&read_split.calls),
         serial_keys,
         "read-split differs"
     );
 
-    let genome_split = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 3);
+    let genome_split = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, 3).unwrap();
     assert_eq!(
         call_keys(&genome_split.calls),
         serial_keys,
@@ -88,12 +88,12 @@ fn all_four_drivers_agree() {
 fn rank_count_does_not_change_results() {
     let (reference, reads) = workload();
     let cfg = GnumapConfig::default();
-    let one = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 1);
+    let one = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 1).unwrap();
     let keys = call_keys(&one.calls);
     for ranks in [2usize, 4, 7] {
-        let r = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+        let r = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks).unwrap();
         assert_eq!(call_keys(&r.calls), keys, "read-split ranks={ranks}");
-        let g = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, ranks);
+        let g = run_genome_split::<NormAccumulator>(&reference, &reads, &cfg, ranks).unwrap();
         assert_eq!(call_keys(&g.calls), keys, "genome-split ranks={ranks}");
     }
 }
@@ -102,8 +102,8 @@ fn rank_count_does_not_change_results() {
 fn repeated_runs_are_bit_deterministic() {
     let (reference, reads) = workload();
     let cfg = GnumapConfig::default();
-    let a = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
-    let b = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 4);
+    let a = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 4).unwrap();
+    let b = run_read_split::<NormAccumulator>(&reference, &reads, &cfg, 4).unwrap();
     assert_eq!(a.calls, b.calls, "same input, same ranks → identical calls");
     assert_eq!(a.reads_mapped, b.reads_mapped);
 }

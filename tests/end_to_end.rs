@@ -104,7 +104,7 @@ fn snp_inside_a_repeat_is_still_called() {
     // The paper's repeat-region claim: plant a SNP inside a duplicated
     // segment. Single-alignment callers randomly split or discard the
     // evidence; the marginal accumulator still concentrates it.
-    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
     // Build a genome with an exact 200-bp duplication.
     let mut reference = simulate::generate_genome(
         &GenomeConfig {
@@ -142,7 +142,10 @@ fn snp_inside_a_repeat_is_still_called() {
 
     let report = run_pipeline(&reference, &reads, &GnumapConfig::default());
     assert!(
-        report.calls.iter().any(|c| c.pos == snp_pos && c.allele == alt),
+        report
+            .calls
+            .iter()
+            .any(|c| c.pos == snp_pos && c.allele == alt),
         "SNP inside the repeat was missed; calls: {:?}",
         report.calls.iter().map(|c| c.pos).collect::<Vec<_>>()
     );
@@ -221,10 +224,7 @@ fn diploid_pipeline_reports_heterozygous_sites() {
     );
     let truth: Vec<_> = catalog.iter().map(|s| (s.pos, s.alt)).collect();
     let acc = score_snp_calls(&report.calls, &truth);
-    assert!(
-        acc.true_positives >= 6,
-        "het sensitivity too low: {acc:?}"
-    );
+    assert!(acc.true_positives >= 6, "het sensitivity too low: {acc:?}");
     // Most recovered sites should be flagged heterozygous (carry both the
     // reference and alternate alleles).
     let het_calls = report
@@ -238,7 +238,10 @@ fn diploid_pipeline_reports_heterozygous_sites() {
         acc.true_positives
     );
     assert_eq!(
-        catalog.iter().filter(|s| s.zygosity == Zygosity::Heterozygous).count(),
+        catalog
+            .iter()
+            .filter(|s| s.zygosity == Zygosity::Heterozygous)
+            .count(),
         catalog.len()
     );
 }

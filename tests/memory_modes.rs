@@ -3,8 +3,7 @@
 //! executable assertions.
 
 use gnumap_snp::core::accum::{
-    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator,
-    NormAccumulator,
+    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
 };
 use gnumap_snp::core::driver::read_split::run_read_split;
 use gnumap_snp::core::report::CommModel;
@@ -115,17 +114,17 @@ fn simulated_scaling_improves_with_ranks() {
     let (reference, _, reads) = workload(15_000, 5, 10.0, 32);
     let cfg = GnumapConfig::default();
     let model = CommModel::default();
-    let best =
-        |ranks: usize| -> f64 {
-            // Best of 3 to dodge scheduler interference on busy CI hosts.
-            (0..3)
-                .map(|_| {
-                    run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks)
-                        .simulated_parallel_secs(&model)
-                        .expect("MPI driver reports rank CPU")
-                })
-                .fold(f64::INFINITY, f64::min)
-        };
+    let best = |ranks: usize| -> f64 {
+        // Best of 3 to dodge scheduler interference on busy CI hosts.
+        (0..3)
+            .map(|_| {
+                run_read_split::<NormAccumulator>(&reference, &reads, &cfg, ranks)
+                    .unwrap()
+                    .simulated_parallel_secs(&model)
+                    .expect("MPI driver reports rank CPU")
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
     let t1 = best(1);
     let t4 = best(4);
     assert!(

@@ -10,10 +10,8 @@ fn updates(len: usize) -> impl Strategy<Value = Vec<(usize, [f64; 5])>> {
     proptest::collection::vec(
         (
             0..len,
-            proptest::array::uniform5(0.0f64..1.0).prop_filter(
-                "non-degenerate delta",
-                |d| d.iter().sum::<f64>() > 1e-6,
-            ),
+            proptest::array::uniform5(0.0f64..1.0)
+                .prop_filter("non-degenerate delta", |d| d.iter().sum::<f64>() > 1e-6),
         ),
         1..40,
     )
@@ -30,8 +28,8 @@ proptest! {
             acc.add(*pos, d);
             expected[*pos] += d.iter().sum::<f64>();
         }
-        for pos in 0..16 {
-            prop_assert!((acc.total(pos) - expected[pos]).abs() < 1e-4);
+        for (pos, &exp) in expected.iter().enumerate() {
+            prop_assert!((acc.total(pos) - exp).abs() < 1e-4);
         }
     }
 
@@ -69,13 +67,13 @@ proptest! {
             acc.add(*pos, d);
             expected[*pos] += d.iter().sum::<f64>();
         }
-        for pos in 0..10 {
+        for (pos, &exp) in expected.iter().enumerate() {
             // Totals are carried in full f32 precision...
-            prop_assert!((acc.total(pos) - expected[pos]).abs() < 1e-3);
+            prop_assert!((acc.total(pos) - exp).abs() < 1e-3);
             // ...and decoded counts re-sum to the total (bytes sum to 255).
             let c = acc.counts(pos);
             let sum: f64 = c.iter().sum();
-            if expected[pos] > 0.0 {
+            if exp > 0.0 {
                 prop_assert!((sum - acc.total(pos)).abs() < 1e-6 * acc.total(pos).max(1.0));
             }
         }
@@ -106,14 +104,14 @@ proptest! {
             acc.add(*pos, d);
             expected[*pos] += d.iter().sum::<f64>();
         }
-        for pos in 0..10 {
-            prop_assert!((acc.total(pos) - expected[pos]).abs() < 1e-3);
+        for (pos, &exp) in expected.iter().enumerate() {
+            prop_assert!((acc.total(pos) - exp).abs() < 1e-3);
             let c = acc.counts(pos);
             let sum: f64 = c.iter().sum();
             // Decoded counts are a centroid × total: non-negative, re-sum
             // to the total.
             prop_assert!(c.iter().all(|&x| x >= 0.0));
-            if expected[pos] > 0.0 {
+            if exp > 0.0 {
                 prop_assert!((sum - acc.total(pos)).abs() < 1e-6 * acc.total(pos).max(1.0));
             }
         }

@@ -1,0 +1,73 @@
+//! Property tests for the SNP-call wire codec the message-passing and
+//! streaming drivers ship results through: decode ∘ encode must be the
+//! identity on arbitrary call lists, and any wire whose length is not a
+//! multiple of the stride must be rejected, never mis-parsed.
+
+use gnumap_snp::core::driver::{decode_calls, encode_calls};
+use gnumap_snp::core::SnpCall;
+use gnumap_snp::prelude::Base;
+use proptest::collection;
+use proptest::prelude::*;
+
+fn arb_call() -> impl Strategy<Value = SnpCall> {
+    (
+        0usize..3_000_000_000,
+        0usize..4,
+        0usize..4,
+        0usize..5, // 4 encodes "no second allele"
+        (0.0f64..500.0, 0.0f64..=1.0),
+        proptest::array::uniform5(0.0f64..100.0),
+    )
+        .prop_map(
+            |(pos, reference, allele, second, (statistic, p_adjusted), counts)| SnpCall {
+                pos,
+                reference: Base::from_index(reference),
+                allele: Base::from_index(allele),
+                second_allele: (second < 4).then(|| Base::from_index(second)),
+                statistic,
+                p_adjusted,
+                counts,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(calls in collection::vec(arb_call(), 0..40)) {
+        let wire = encode_calls(&calls);
+        prop_assert_eq!(decode_calls(&wire).unwrap(), calls);
+    }
+
+    #[test]
+    fn truncated_wires_are_rejected(
+        calls in collection::vec(arb_call(), 1..10),
+        cut in 1usize..11,
+    ) {
+        let wire = encode_calls(&calls);
+        let truncated = &wire[..wire.len() - cut];
+        let err = decode_calls(truncated).unwrap_err();
+        prop_assert_eq!(err.len, truncated.len());
+    }
+}
+
+#[test]
+fn empty_input_round_trips() {
+    let wire = encode_calls(&[]);
+    assert!(wire.is_empty());
+    assert!(decode_calls(&wire).unwrap().is_empty());
+}
+
+#[test]
+fn homozygous_call_keeps_second_allele_none() {
+    let call = SnpCall {
+        pos: 42,
+        reference: Base::C,
+        allele: Base::T,
+        second_allele: None,
+        statistic: 12.5,
+        p_adjusted: 0.001,
+        counts: [0.0, 1.0, 0.0, 9.0, 0.25],
+    };
+    let decoded = decode_calls(&encode_calls(std::slice::from_ref(&call))).unwrap();
+    assert_eq!(decoded, vec![call]);
+}
