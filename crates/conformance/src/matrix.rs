@@ -1,0 +1,245 @@
+//! The driver-matrix differential runner.
+//!
+//! One seeded workload at a time, the serial pipeline is the reference and
+//! every parallel decomposition — rayon, read-split MPI, genome-split MPI,
+//! read-split ring and the streaming engine — must reproduce it *exactly*:
+//!
+//! * the same `FixedAccumulator` digest (an XOR of per-position avalanche
+//!   hashes over the raw count bits, so one flipped ULP anywhere in the
+//!   genome changes it);
+//! * bit-identical SNP-call wires (`encode_calls` compared at the
+//!   `f64::to_bits` level, stricter than `PartialEq` on floats);
+//! * the same mapped-read count.
+//!
+//! Bit-identity is achievable because every driver funnels deposits
+//! through the fixed-point accumulator, whose integer adds commute; the
+//! matrix exists to catch any driver that re-orders *float* arithmetic
+//! (normalisation, margin hand-off, reduction trees) instead.
+
+use crate::workload::{build, Workload, WorkloadSpec};
+use crate::Outcome;
+use gnumap_core::accum::{FixedAccumulator, NormAccumulator};
+use gnumap_core::driver::encode_calls;
+use gnumap_core::driver::genome_split::run_genome_split;
+use gnumap_core::driver::rayon_driver::run_rayon;
+use gnumap_core::driver::read_split::{run_read_split, run_read_split_ring};
+use gnumap_core::pipeline::run_serial_with;
+use gnumap_core::report::RunReport;
+
+use exec::driver::{run_stream, StreamConfig};
+use exec::stream::MemoryStream;
+
+/// Workloads in the sweep (the acceptance floor is 20).
+const FULL_WORKLOADS: usize = 20;
+const FAST_WORKLOADS: usize = 6;
+
+/// Run the matrix tier.
+pub fn run(fast: bool) -> Outcome {
+    let mut out = Outcome::default();
+    let workloads = if fast { FAST_WORKLOADS } else { FULL_WORKLOADS };
+    for i in 0..workloads {
+        let spec = WorkloadSpec::matrix(i);
+        let wl = build(&spec);
+        let reference = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
+        out.check(reference.accumulator_digest.is_some(), || {
+            format!("workload {i}: serial driver produced no accumulator digest")
+        });
+        compare_drivers(&mut out, i, &wl, &reference, fast);
+    }
+    out
+}
+
+/// Wire form of a report's calls, compared bit-for-bit.
+fn call_bits(report: &RunReport) -> Vec<u64> {
+    encode_calls(&report.calls)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Assert `candidate` reproduces `reference` exactly.
+fn assert_identical(
+    out: &mut Outcome,
+    workload: usize,
+    driver: &str,
+    reference: &RunReport,
+    candidate: &RunReport,
+) {
+    out.check(
+        candidate.accumulator_digest == reference.accumulator_digest,
+        || {
+            format!(
+                "workload {workload}: {driver} accumulator digest {:?} != serial {:?}",
+                candidate.accumulator_digest, reference.accumulator_digest
+            )
+        },
+    );
+    out.check(call_bits(candidate) == call_bits(reference), || {
+        format!(
+            "workload {workload}: {driver} calls differ from serial \
+             ({} vs {} calls)",
+            candidate.calls.len(),
+            reference.calls.len()
+        )
+    });
+    out.check(candidate.reads_mapped == reference.reads_mapped, || {
+        format!(
+            "workload {workload}: {driver} mapped {} reads, serial mapped {}",
+            candidate.reads_mapped, reference.reads_mapped
+        )
+    });
+}
+
+/// Compare two call lists up to float reordering: matched positions must
+/// agree on alleles and statistics (relative 1e-6); a position present on
+/// one side only is excused iff its evidence total sits on the `min_total`
+/// testing threshold, where summation order legitimately decides whether
+/// the position is tested at all. Returns `None` on success, or a
+/// description of the first divergence.
+fn semantically_equal(
+    a: &[gnumap_core::SnpCall],
+    b: &[gnumap_core::SnpCall],
+    min_total: f64,
+) -> Option<String> {
+    let (mut ia, mut ib) = (a.iter().peekable(), b.iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (None, None) => return None,
+            (Some(ca), Some(cb)) if ca.pos == cb.pos => {
+                if ca.allele != cb.allele
+                    || ca.second_allele != cb.second_allele
+                    || (ca.statistic - cb.statistic).abs() > 1e-6 * cb.statistic.abs().max(1.0)
+                {
+                    return Some(format!(
+                        "position {}: alleles/statistic differ ({} vs {})",
+                        ca.pos, ca.statistic, cb.statistic
+                    ));
+                }
+                ia.next();
+                ib.next();
+            }
+            // One-sided call: pick whichever side is behind (or the only
+            // one left) and check it is a threshold-edge site.
+            (sa, sb) => {
+                let lone = match (sa, sb) {
+                    (Some(ca), Some(cb)) if ca.pos < cb.pos => ia.next().unwrap(),
+                    (Some(_), Some(_)) | (None, Some(_)) => ib.next().unwrap(),
+                    (Some(_), None) => ia.next().unwrap(),
+                    (None, None) => unreachable!(),
+                };
+                let total: f64 = lone.counts.iter().sum();
+                if (total - min_total).abs() > 1e-6 {
+                    return Some(format!(
+                        "position {} called on one side only with evidence total {total} \
+                         (not a min_total = {min_total} edge)",
+                        lone.pos
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn compare_drivers(
+    out: &mut Outcome,
+    workload: usize,
+    wl: &Workload,
+    reference: &RunReport,
+    fast: bool,
+) {
+    // Vary the parallel shape with the workload index so the sweep covers
+    // worker/rank/batch-size combinations without a full cross product.
+    let threads = [2, 3, 4][workload % 3];
+    let ranks = [2, 3, 5][workload % 3];
+
+    let rayon = run_rayon::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, threads);
+    assert_identical(
+        out,
+        workload,
+        &format!("rayon(threads {threads})"),
+        reference,
+        &rayon,
+    );
+
+    match run_read_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, ranks) {
+        Ok(r) => assert_identical(
+            out,
+            workload,
+            &format!("read-split(ranks {ranks})"),
+            reference,
+            &r,
+        ),
+        Err(e) => out.fail(format!("workload {workload}: read-split failed: {e}")),
+    }
+
+    match run_genome_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, ranks) {
+        Ok(r) => assert_identical(
+            out,
+            workload,
+            &format!("genome-split(ranks {ranks})"),
+            reference,
+            &r,
+        ),
+        Err(e) => out.fail(format!("workload {workload}: genome-split failed: {e}")),
+    }
+
+    // The ring variant is pinned to the float norm accumulator internally,
+    // so it lives in a different numeric domain: positions whose total
+    // mass sits exactly on the `min_total` testing threshold can be
+    // included or excluded depending on quantization, and summation order
+    // perturbs low bits. Its contract is therefore semantic agreement with
+    // a *serial norm-accumulator* run: the same sites and alleles, with
+    // statistics equal up to float reordering.
+    if !fast {
+        let norm_ref = run_serial_with::<NormAccumulator>(&wl.reference, &wl.reads, &wl.config);
+        match run_read_split_ring(&wl.reference, &wl.reads, &wl.config, ranks) {
+            Ok(r) => {
+                let verdict =
+                    semantically_equal(&r.calls, &norm_ref.calls, wl.config.calling.min_total);
+                out.check(verdict.is_none(), || {
+                    format!(
+                        "workload {workload}: read-split-ring(ranks {ranks}) calls \
+                         diverge from the serial norm run: {}",
+                        verdict.unwrap_or_default()
+                    )
+                });
+            }
+            Err(e) => out.fail(format!("workload {workload}: read-split-ring failed: {e}")),
+        }
+    }
+
+    let sc = StreamConfig {
+        workers: [1, 2, 4][workload % 3],
+        batch_size: [16, 32, 64][workload % 3],
+        chunk_size: [64, 128][workload % 2],
+        batches_per_worker: 1 + workload % 3,
+        shards: [4, 16, 32][workload % 3],
+        ..StreamConfig::default()
+    };
+    let mut stream = MemoryStream::new(wl.reads.clone());
+    match run_stream::<FixedAccumulator>(&wl.reference, &mut stream, &wl.config, &sc) {
+        Ok(r) => assert_identical(
+            out,
+            workload,
+            &format!(
+                "stream(workers {}, batch {}, shards {})",
+                sc.workers, sc.batch_size, sc.shards
+            ),
+            reference,
+            &r,
+        ),
+        Err(e) => out.fail(format!("workload {workload}: stream driver failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_tier_passes_fast() {
+        let out = run(true);
+        assert!(out.checks > 30, "expected a real sweep, got {}", out.checks);
+        assert!(out.failures.is_empty(), "failures: {:#?}", out.failures);
+    }
+}

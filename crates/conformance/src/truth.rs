@@ -1,0 +1,92 @@
+//! Truth-set gate: end-to-end accuracy on planted SNPs.
+//!
+//! The other tiers prove the drivers agree with each other and with the
+//! oracles; this one proves the agreed-upon answer is *useful*. Reads are
+//! simulated from an individual carrying a known SNP catalog (with
+//! sequencing errors and repeat families switched on, so mapping is not
+//! trivial), and the called SNPs are scored against the catalog with
+//! sensitivity and precision floors.
+
+use crate::workload::{build, WorkloadSpec};
+use crate::Outcome;
+use gnumap_core::accum::FixedAccumulator;
+use gnumap_core::pipeline::run_serial_with;
+use gnumap_core::report::score_snp_calls;
+
+/// Accuracy floors. The seed corpus holds ≥ 7/8 sensitivity with ≤ 1
+/// false positive at coverage 14 (see `pipeline::tests`); these floors
+/// leave headroom for the harsher repeat-bearing genomes used here.
+const MIN_SENSITIVITY: f64 = 0.75;
+const MIN_PRECISION: f64 = 0.80;
+
+fn truth_specs(fast: bool) -> Vec<WorkloadSpec> {
+    let seeds: &[u64] = if fast {
+        &[0x7d_01, 0x7d_02]
+    } else {
+        &[0x7d_01, 0x7d_02, 0x7d_03, 0x7d_04, 0x7d_05]
+    };
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| WorkloadSpec {
+            seed,
+            genome_len: 3_000 + 500 * i,
+            snp_count: 8,
+            coverage: 13.0 + i as f64 * 0.5,
+            read_length: 62,
+            repeat_families: 1,
+        })
+        .collect()
+}
+
+/// Run the truth tier.
+pub fn run(fast: bool) -> Outcome {
+    let mut out = Outcome::default();
+    for spec in truth_specs(fast) {
+        let wl = build(&spec);
+        let report = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
+        let accuracy = score_snp_calls(&report.calls, &wl.truth);
+        let sensitivity = accuracy.sensitivity();
+        let precision = accuracy.precision();
+        out.check(sensitivity >= MIN_SENSITIVITY, || {
+            format!(
+                "seed {:#x}: sensitivity {sensitivity:.3} below {MIN_SENSITIVITY} \
+                 ({} of {} planted SNPs found)",
+                spec.seed,
+                accuracy.true_positives,
+                wl.truth.len()
+            )
+        });
+        out.check(precision >= MIN_PRECISION, || {
+            format!(
+                "seed {:#x}: precision {precision:.3} below {MIN_PRECISION} \
+                 ({} false positives)",
+                spec.seed, accuracy.false_positives
+            )
+        });
+        out.check(
+            report.reads_mapped as f64 >= wl.reads.len() as f64 * 0.9,
+            || {
+                format!(
+                    "seed {:#x}: only {} of {} reads mapped",
+                    spec.seed,
+                    report.reads_mapped,
+                    wl.reads.len()
+                )
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tier_passes_fast() {
+        let out = run(true);
+        assert!(out.checks >= 6, "expected a real sweep, got {}", out.checks);
+        assert!(out.failures.is_empty(), "failures: {:#?}", out.failures);
+    }
+}

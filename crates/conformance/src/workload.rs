@@ -1,0 +1,111 @@
+//! Seeded randomized workloads shared by the matrix, fault and truth
+//! tiers.
+//!
+//! Everything is derived from a single `u64` seed through `ChaCha8Rng`, so
+//! a failing workload can be reproduced from its printed spec alone.
+
+use genome::alphabet::Base;
+use genome::read::SequencedRead;
+use genome::seq::DnaSeq;
+use gnumap_core::GnumapConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
+use simulate::{
+    apply_snps_monoploid, generate_genome, generate_snp_catalog, GenomeConfig, SnpCatalogConfig,
+};
+
+/// Everything needed to build one reproducible workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// RNG seed for genome, SNP catalog and reads.
+    pub seed: u64,
+    /// Reference genome length in bases.
+    pub genome_len: usize,
+    /// Planted SNP count.
+    pub snp_count: usize,
+    /// Mean read coverage.
+    pub coverage: f64,
+    /// Read length in bases.
+    pub read_length: usize,
+    /// Repeat families planted into the genome. The driver matrix keeps
+    /// this at 0 so every driver sees identical candidate sets; the truth
+    /// tier raises it to exercise repeat handling.
+    pub repeat_families: usize,
+}
+
+impl WorkloadSpec {
+    /// The `i`-th spec of the differential matrix: seeds and shapes vary
+    /// together so the sweep covers genome size × read length × coverage.
+    pub fn matrix(i: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            seed: 0x5e_ed + 97 * i as u64,
+            genome_len: 1_500 + 450 * (i % 5),
+            snp_count: 3 + i % 5,
+            coverage: 4.0 + (i % 4) as f64,
+            read_length: [48, 62, 62, 75][i % 4],
+            repeat_families: 0,
+        }
+    }
+}
+
+/// A materialised workload.
+pub struct Workload {
+    /// The spec it was built from.
+    pub spec: WorkloadSpec,
+    /// Reference genome.
+    pub reference: DnaSeq,
+    /// Planted `(position, alternate allele)` truth set.
+    pub truth: Vec<(usize, Base)>,
+    /// Simulated reads from the SNP-carrying individual.
+    pub reads: Vec<SequencedRead>,
+    /// Pipeline configuration (defaults; callers may override).
+    pub config: GnumapConfig,
+}
+
+/// Build the workload for `spec`.
+pub fn build(spec: &WorkloadSpec) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let reference = generate_genome(
+        &GenomeConfig {
+            length: spec.genome_len,
+            repeat_families: spec.repeat_families,
+            repeat_length: 120,
+            repeat_copies: 2,
+            repeat_divergence: 0.02,
+            ..GenomeConfig::default()
+        },
+        &mut rng,
+    );
+    let snps = generate_snp_catalog(
+        &reference,
+        &SnpCatalogConfig {
+            count: spec.snp_count,
+            ..SnpCatalogConfig::default()
+        },
+        &mut rng,
+    );
+    let individual = apply_snps_monoploid(&reference, &snps);
+    let sim_cfg = ReadSimConfig {
+        coverage: spec.coverage,
+        read_length: spec.read_length,
+        ..ReadSimConfig::default()
+    };
+    let reads: Vec<SequencedRead> = simulate_reads(
+        &ReadSource::Monoploid(&individual),
+        sim_cfg.read_count(spec.genome_len),
+        &sim_cfg,
+        &mut rng,
+    )
+    .into_iter()
+    .map(|r| r.read)
+    .collect();
+    let truth = snps.iter().map(|s| (s.pos, s.alt)).collect();
+    Workload {
+        spec: *spec,
+        reference,
+        truth,
+        reads,
+        config: GnumapConfig::default(),
+    }
+}

@@ -1,0 +1,105 @@
+//! Seeded determinism: two full pipeline runs with the same RNG seed and
+//! configuration must produce byte-identical calls — for every driver.
+//!
+//! This is subtly different from the matrix tier (drivers vs each other):
+//! here each driver is compared against *itself* across process-internal
+//! re-runs, catching nondeterminism that happens to be self-consistent
+//! across drivers (e.g. a HashMap iteration order that every driver
+//! shares).
+
+use conformance::workload::{build, WorkloadSpec};
+use exec::driver::{run_stream, StreamConfig};
+use exec::stream::MemoryStream;
+use gnumap_core::accum::FixedAccumulator;
+use gnumap_core::driver::encode_calls;
+use gnumap_core::driver::genome_split::run_genome_split;
+use gnumap_core::driver::rayon_driver::run_rayon;
+use gnumap_core::driver::read_split::run_read_split;
+use gnumap_core::pipeline::run_serial_with;
+use gnumap_core::report::RunReport;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        seed: 0xde_7e_12,
+        genome_len: 1_800,
+        snp_count: 4,
+        coverage: 5.0,
+        read_length: 62,
+        repeat_families: 0,
+    }
+}
+
+fn fingerprint(report: &RunReport) -> (Vec<u64>, Option<u64>, usize) {
+    (
+        encode_calls(&report.calls)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+        report.accumulator_digest,
+        report.reads_mapped,
+    )
+}
+
+/// The workload builder itself must be deterministic, else every
+/// driver-level assertion below would be vacuous.
+#[test]
+fn workload_build_is_deterministic() {
+    let a = build(&spec());
+    let b = build(&spec());
+    assert_eq!(a.reference.to_string(), b.reference.to_string());
+    assert_eq!(a.truth, b.truth);
+    assert_eq!(a.reads.len(), b.reads.len());
+    for (ra, rb) in a.reads.iter().zip(&b.reads) {
+        assert_eq!(ra, rb);
+    }
+}
+
+#[test]
+fn serial_runs_twice_identically() {
+    let wl = build(&spec());
+    let a = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
+    let b = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn rayon_runs_twice_identically() {
+    let wl = build(&spec());
+    let a = run_rayon::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 4);
+    let b = run_rayon::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 4);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn read_split_runs_twice_identically() {
+    let wl = build(&spec());
+    let a = run_read_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
+    let b = run_read_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn genome_split_runs_twice_identically() {
+    let wl = build(&spec());
+    let a = run_genome_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
+    let b = run_genome_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn stream_runs_twice_identically() {
+    let wl = build(&spec());
+    let sc = StreamConfig {
+        workers: 3,
+        batch_size: 16,
+        chunk_size: 48,
+        batches_per_worker: 2,
+        shards: 8,
+        ..StreamConfig::default()
+    };
+    let mut sa = MemoryStream::new(wl.reads.clone());
+    let a = run_stream::<FixedAccumulator>(&wl.reference, &mut sa, &wl.config, &sc).unwrap();
+    let mut sb = MemoryStream::new(wl.reads.clone());
+    let b = run_stream::<FixedAccumulator>(&wl.reference, &mut sb, &wl.config, &sc).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}

@@ -31,6 +31,28 @@ use mpisim::WireSize;
 /// Number of tracked symbols per genome position (A, C, G, T, gap).
 pub const NUM_SYMBOLS: usize = 5;
 
+/// A 64-bit avalanche mix (the SplitMix64 finalizer): every input bit
+/// flips each output bit with probability ≈ ½, so XOR-combining hashes of
+/// distinct positions cannot systematically cancel.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash of one genome position's decoded evidence vector. The f64 *bit
+/// patterns* feed the hash, so two equal digests mean bit-identical
+/// decoded state, not merely approximately equal state.
+#[inline]
+pub fn position_hash(pos: u64, counts: &[f64; NUM_SYMBOLS]) -> u64 {
+    let mut h = mix64(pos ^ 0x243F_6A88_85A3_08D3);
+    for v in counts {
+        h = mix64(h ^ v.to_bits());
+    }
+    h
+}
+
 /// A genome-length accumulator of per-position evidence vectors.
 pub trait GenomeAccumulator: Send + Sized {
     /// Flat representation shipped between ranks by the MPI drivers.
@@ -69,6 +91,26 @@ pub trait GenomeAccumulator: Send + Sized {
 
     /// Heap bytes used by this accumulator (for Table II / III reporting).
     fn heap_bytes(&self) -> usize;
+
+    /// Order-independent fingerprint of the decoded state: the XOR over
+    /// every position of [`position_hash`] at global position
+    /// `offset + pos`. Equal digests mean bit-identical decoded counts at
+    /// every position. Because XOR commutes, digests of disjoint shards
+    /// (each passed its global start as `offset`) XOR together into the
+    /// digest of the full-genome accumulator — which is how the
+    /// genome-split driver reports a digest comparable to the serial one.
+    fn digest_with_offset(&self, offset: usize) -> u64 {
+        let mut h = 0u64;
+        for pos in 0..self.len() {
+            h ^= position_hash((offset + pos) as u64, &self.counts(pos));
+        }
+        h
+    }
+
+    /// [`GenomeAccumulator::digest_with_offset`] at offset 0.
+    fn digest(&self) -> u64 {
+        self.digest_with_offset(0)
+    }
 
     /// Convenience: merge a sibling accumulator via its wire form.
     fn merge_from(&mut self, other: &Self) {

@@ -15,9 +15,13 @@
 //!    placements are still seen by their owner). Memory per rank shrinks
 //!    by ~`1/ranks` — the entire point of this mode.
 //! 2. Every rank scans **all** reads, scoring only placements whose window
-//!    starts inside its shard. The per-read normalising constants are then
-//!    combined across ranks with an allreduce per read batch — this is the
-//!    communication that makes the mode slower than read-split (Figure 4).
+//!    starts inside its shard. Each read's candidate summaries
+//!    `(strand, placement, likelihood)` are then combined across ranks
+//!    with an allreduce per read batch — this is the communication that
+//!    makes the mode slower than read-split (Figure 4). Sorting the merged
+//!    candidates into the serial engine's evaluation order makes the
+//!    posterior weights (and, with the FIXED layout, the accumulator)
+//!    bit-identical to a serial run.
 //! 3. Evidence deposited into the margin beyond `e_r` is shipped to the
 //!    next rank and folded in.
 //! 4. Each rank calls SNPs on its own shard; calls are gathered at rank 0.
@@ -79,9 +83,11 @@ pub fn run_genome_split<A: GenomeAccumulator>(
         for batch in reads.chunks(BATCH) {
             // Score each read locally; keep only placements owned by this
             // shard (placement start within [shard.start, shard.end)).
-            let mut local_totals = vec![0.0f64; batch.len()];
+            // Each alignment is summarised for the wire as a
+            // `(strand, global placement, likelihood)` triple.
             let mut owned: Vec<Vec<crate::mapping::RawAlignment>> = Vec::with_capacity(batch.len());
-            for (i, read) in batch.iter().enumerate() {
+            let mut triples: Vec<Vec<(u64, u64, f64)>> = Vec::with_capacity(batch.len());
+            for read in batch.iter() {
                 let raw: Vec<_> = engine
                     .map_read_raw(read)
                     .into_iter()
@@ -90,32 +96,76 @@ pub fn run_genome_split<A: GenomeAccumulator>(
                         shard.contains(global_placement)
                     })
                     .collect();
-                local_totals[i] = raw.iter().map(|a| a.likelihood).sum();
+                triples.push(
+                    raw.iter()
+                        .map(|a| {
+                            (
+                                a.reverse as u64,
+                                (slice_start + a.placement_start) as u64,
+                                a.likelihood,
+                            )
+                        })
+                        .collect(),
+                );
                 owned.push(raw);
             }
 
-            // The normalising constant needs every shard's score — the
-            // per-batch communication of this mode.
-            let global_totals = rank.allreduce(local_totals, |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
+            // Normalisation needs every shard's candidates — the per-batch
+            // communication of this mode. Concatenating per rank and then
+            // sorting strand-major/position-minor reconstructs the exact
+            // candidate order the serial engine's `map_read` sees (forward
+            // placements ascending, then reverse), so the grand total, the
+            // min-weight filter and the kept-sum renormalisation below are
+            // all evaluated in the serial operation order: the resulting
+            // deposits are bit-identical to a serial run.
+            let all_triples = rank.allreduce(triples, |mut a, b| {
+                for (mine, theirs) in a.iter_mut().zip(b) {
+                    mine.extend(theirs);
                 }
                 a
             });
 
             for (i, alignments) in owned.into_iter().enumerate() {
-                if global_totals[i] <= 0.0 {
+                let mut merged = all_triples[i].clone();
+                merged.sort_by_key(|x| (x.0, x.1));
+                let grand_total: f64 = merged.iter().map(|t| t.2).sum();
+                if grand_total <= 0.0 {
                     continue;
                 }
-                if !alignments.is_empty() {
+                // Mirror `MappingEngine::map_read`: posterior weights,
+                // min-weight filter, renormalise over the kept set.
+                let mut kept: Vec<(u64, u64, f64)> = merged
+                    .into_iter()
+                    .filter_map(|(rev, place, likelihood)| {
+                        let weight = likelihood / grand_total;
+                        (weight >= config.mapping.min_weight).then_some((rev, place, weight))
+                    })
+                    .collect();
+                let kept_sum: f64 = kept.iter().map(|t| t.2).sum();
+                if kept_sum > 0.0 {
+                    for t in &mut kept {
+                        t.2 /= kept_sum;
+                    }
+                }
+                // Every rank derives the same kept set, so counting reads
+                // on rank 0 alone gives the exact global mapped count (a
+                // cross-shard read is still one read).
+                if rank.id() == 0 && !kept.is_empty() {
                     mapped_here += 1;
                 }
                 for aln in alignments {
-                    let weight = aln.likelihood / global_totals[i];
-                    if weight < config.mapping.min_weight {
-                        continue;
+                    let key = (
+                        aln.reverse as u64,
+                        (slice_start + aln.placement_start) as u64,
+                    );
+                    if let Ok(idx) = kept.binary_search_by(|t| (t.0, t.1).cmp(&key)) {
+                        crate::pipeline::deposit(
+                            &mut acc,
+                            aln.window_start,
+                            kept[idx].2,
+                            &aln.columns,
+                        );
                     }
-                    crate::pipeline::deposit(&mut acc, aln.window_start, weight, &aln.columns);
                 }
             }
         }
@@ -143,20 +193,23 @@ pub fn run_genome_split<A: GenomeAccumulator>(
 
         // Call SNPs over the owned region only (margin belongs to the
         // neighbour) and gather everything at rank 0.
-        let calls = {
-            // A shard-length view: reuse the accumulator but stop the scan
-            // at the shard boundary by zero-extending a shard-only copy.
-            let mut shard_acc = A::new(shard.len());
-            for idx in 0..shard.len() {
-                let c = acc.counts(idx);
-                if c.iter().sum::<f64>() > 0.0 {
-                    shard_acc.add(idx, &c);
-                }
+        // A shard-length view: reuse the accumulator but stop the scan
+        // at the shard boundary by zero-extending a shard-only copy.
+        let mut shard_acc = A::new(shard.len());
+        for idx in 0..shard.len() {
+            let c = acc.counts(idx);
+            if c.iter().sum::<f64>() > 0.0 {
+                shard_acc.add(idx, &c);
             }
-            call_snps_with_offset(&shard_acc, reference, slice_start, &config.calling)
-        };
+        }
+        let calls = call_snps_with_offset(&shard_acc, reference, slice_start, &config.calling);
+        // Shards cover disjoint global ranges exactly once, so XORing the
+        // per-shard digests (each keyed by global position) reproduces the
+        // digest a serial full-genome accumulator would report.
+        let shard_digest = shard_acc.digest_with_offset(slice_start);
         let call_wires = rank.gather(0, encode_calls(&calls));
         let mapped_counts = rank.gather(0, mapped_here);
+        let digest = rank.reduce(0, shard_digest, |a, b| a ^ b);
         let acc_bytes = rank.reduce(0, acc.heap_bytes() as u64, |a, b| a + b);
 
         if rank.id() == 0 {
@@ -174,6 +227,7 @@ pub fn run_genome_split<A: GenomeAccumulator>(
                     encode_calls(&all_calls),
                     mapped_total,
                     acc_bytes.expect("root reduces") as usize,
+                    digest.expect("root reduces"),
                 )
             }))
         } else {
@@ -181,7 +235,7 @@ pub fn run_genome_split<A: GenomeAccumulator>(
         }
     });
 
-    let (call_wire, mapped_total, acc_bytes) =
+    let (call_wire, mapped_total, acc_bytes, digest) =
         results.swap_remove(0).expect("rank 0 returns the result")?;
     Ok(RunReport {
         calls: decode_calls(&call_wire)?,
@@ -192,6 +246,7 @@ pub fn run_genome_split<A: GenomeAccumulator>(
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,
         stream: None,
+        accumulator_digest: Some(digest),
     })
 }
 

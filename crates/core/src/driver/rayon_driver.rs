@@ -65,6 +65,7 @@ pub fn run_rayon<A: GenomeAccumulator>(
         traffic: None,
         rank_cpu_secs: Vec::new(),
         stream: None,
+        accumulator_digest: Some(acc.digest()),
     }
 }
 

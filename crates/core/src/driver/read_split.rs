@@ -64,13 +64,18 @@ pub fn run_read_split<A: GenomeAccumulator>(
             }
             let calls = call_snps(&total_acc, reference, &config.calling);
             let mapped_total: u64 = mapped_counts.expect("root gathers").iter().sum();
-            Some((encode_calls(&calls), mapped_total, total_acc.heap_bytes()))
+            Some((
+                encode_calls(&calls),
+                mapped_total,
+                total_acc.heap_bytes(),
+                total_acc.digest(),
+            ))
         } else {
             None
         }
     });
 
-    let (call_wire, mapped_total, acc_bytes) =
+    let (call_wire, mapped_total, acc_bytes, digest) =
         results.swap_remove(0).expect("rank 0 returns the result");
     Ok(RunReport {
         calls: decode_calls(&call_wire)?,
@@ -81,6 +86,7 @@ pub fn run_read_split<A: GenomeAccumulator>(
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,
         stream: None,
+        accumulator_digest: Some(digest),
     })
 }
 
@@ -123,13 +129,18 @@ pub fn run_read_split_ring(
             let mut total_acc = NormAccumulator::new(reference.len());
             total_acc.merge_wire(&reduced);
             let calls = call_snps(&total_acc, reference, &config.calling);
-            Some((encode_calls(&calls), mapped_total, total_acc.heap_bytes()))
+            Some((
+                encode_calls(&calls),
+                mapped_total,
+                total_acc.heap_bytes(),
+                total_acc.digest(),
+            ))
         } else {
             None
         }
     });
 
-    let (call_wire, mapped_total, acc_bytes) =
+    let (call_wire, mapped_total, acc_bytes, digest) =
         results.swap_remove(0).expect("rank 0 returns the result");
     Ok(RunReport {
         calls: decode_calls(&call_wire)?,
@@ -140,6 +151,7 @@ pub fn run_read_split_ring(
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,
         stream: None,
+        accumulator_digest: Some(digest),
     })
 }
 

@@ -80,6 +80,7 @@ pub fn run_serial_with<A: GenomeAccumulator>(
         traffic: None,
         rank_cpu_secs: Vec::new(),
         stream: None,
+        accumulator_digest: Some(acc.digest()),
     }
 }
 

@@ -99,6 +99,12 @@ pub struct RunReport {
     pub rank_cpu_secs: Vec<f64>,
     /// Pipeline statistics when the streaming driver ran.
     pub stream: Option<StreamStats>,
+    /// Order-independent fingerprint of the final accumulator state (see
+    /// [`crate::accum::GenomeAccumulator::digest`]); `None` when a driver
+    /// cannot expose one. Two runs with equal digests ended with
+    /// bit-identical decoded accumulators — the conformance harness's
+    /// cross-driver equality check.
+    pub accumulator_digest: Option<u64>,
 }
 
 impl RunReport {
@@ -278,6 +284,7 @@ mod tests {
             traffic: None,
             rank_cpu_secs: Vec::new(),
             stream: None,
+            accumulator_digest: None,
         };
         assert_eq!(r.seqs_per_sec(), 250.0);
     }

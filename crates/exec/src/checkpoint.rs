@@ -14,8 +14,31 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// File magic (versioned) and trailer.
-const MAGIC: &[u8; 8] = b"GMSNPCK1";
+const MAGIC: &[u8; 8] = b"GMSNPCK2";
 const TRAILER: &[u8; 4] = b"END.";
+
+/// FNV-1a over the serialized payload. Without it a flipped bit inside a
+/// count would load silently and corrupt every downstream call; with it,
+/// any payload damage surfaces as a typed [`ExecError::Checkpoint`].
+#[derive(Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
 
 /// A consistent engine snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,15 +56,23 @@ pub fn save(path: &Path, cp: &Checkpoint) -> Result<(), ExecError> {
     let tmp = path.with_extension("tmp");
     {
         let mut w = BufWriter::new(File::create(&tmp)?);
+        let mut sum = Fnv64::new();
+        let put =
+            |w: &mut BufWriter<File>, sum: &mut Fnv64, bytes: &[u8]| -> Result<(), ExecError> {
+                sum.update(bytes);
+                w.write_all(bytes)?;
+                Ok(())
+            };
         w.write_all(MAGIC)?;
-        w.write_all(&(cp.cursor as u64).to_le_bytes())?;
-        w.write_all(&(cp.reads_mapped as u64).to_le_bytes())?;
-        w.write_all(&(cp.counts.len() as u64).to_le_bytes())?;
+        put(&mut w, &mut sum, &(cp.cursor as u64).to_le_bytes())?;
+        put(&mut w, &mut sum, &(cp.reads_mapped as u64).to_le_bytes())?;
+        put(&mut w, &mut sum, &(cp.counts.len() as u64).to_le_bytes())?;
         for pos in &cp.counts {
             for &c in pos {
-                w.write_all(&c.to_le_bytes())?;
+                put(&mut w, &mut sum, &c.to_le_bytes())?;
             }
         }
+        w.write_all(&sum.finish().to_le_bytes())?;
         w.write_all(TRAILER)?;
         w.flush()?;
         w.get_ref().sync_all()?;
@@ -66,25 +97,35 @@ pub fn load(path: &Path) -> Result<Option<Checkpoint>, ExecError> {
     if &magic != MAGIC {
         return Err(corrupt("bad magic (not a checkpoint, or a newer format)"));
     }
+    let mut sum = Fnv64::new();
     let mut u64buf = [0u8; 8];
-    let mut read_u64 = |r: &mut BufReader<File>, what: &str| -> Result<u64, ExecError> {
-        r.read_exact(&mut u64buf).map_err(|_| corrupt(what))?;
-        Ok(u64::from_le_bytes(u64buf))
-    };
-    let cursor = read_u64(&mut r, "truncated cursor")? as usize;
-    let reads_mapped = read_u64(&mut r, "truncated mapped count")? as usize;
-    let len = read_u64(&mut r, "truncated length")? as usize;
+    let mut read_u64 =
+        |r: &mut BufReader<File>, sum: &mut Fnv64, what: &str| -> Result<u64, ExecError> {
+            r.read_exact(&mut u64buf).map_err(|_| corrupt(what))?;
+            sum.update(&u64buf);
+            Ok(u64::from_le_bytes(u64buf))
+        };
+    let cursor = read_u64(&mut r, &mut sum, "truncated cursor")? as usize;
+    let reads_mapped = read_u64(&mut r, &mut sum, "truncated mapped count")? as usize;
+    let len = read_u64(&mut r, &mut sum, "truncated length")? as usize;
 
-    let mut counts = Vec::with_capacity(len);
+    let mut counts = Vec::with_capacity(len.min(1 << 24));
     let mut f64buf = [0u8; 8];
     for _ in 0..len {
         let mut pos = [0.0; NUM_SYMBOLS];
         for slot in &mut pos {
             r.read_exact(&mut f64buf)
                 .map_err(|_| corrupt("truncated counts"))?;
+            sum.update(&f64buf);
             *slot = f64::from_le_bytes(f64buf);
         }
         counts.push(pos);
+    }
+    let mut sumbuf = [0u8; 8];
+    r.read_exact(&mut sumbuf)
+        .map_err(|_| corrupt("missing checksum"))?;
+    if u64::from_le_bytes(sumbuf) != sum.finish() {
+        return Err(corrupt("checksum mismatch (corrupt payload)"));
     }
     let mut trailer = [0u8; 4];
     r.read_exact(&mut trailer)
@@ -142,6 +183,22 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
         assert!(matches!(load(&path), Err(ExecError::Checkpoint(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_rejected() {
+        let dir = tmpdir("bitflip");
+        let path = dir.join("state.ckpt");
+        save(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match load(&path) {
+            Err(ExecError::Checkpoint(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

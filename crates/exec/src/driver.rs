@@ -376,6 +376,7 @@ pub fn run_stream<A: GenomeAccumulator>(
         traffic: None,
         rank_cpu_secs,
         stream: Some(stats),
+        accumulator_digest: Some(full.digest()),
     })
 }
 

@@ -136,3 +136,85 @@ proptest! {
         prop_assert!(d_ab <= d_ac + d_cb);
     }
 }
+
+/// Render one four-line FASTQ record for `seq` with an all-`I` quality
+/// line of length `qual_len`.
+fn fastq_record(seq: &DnaSeq, qual_len: usize) -> String {
+    format!("@r0\n{seq}\n+\n{}\n", "I".repeat(qual_len))
+}
+
+/// Characters that are neither nucleotides, `N`, nor whitespace — invalid
+/// in any sequence line.
+const BAD_SEQ_CHARS: &[u8] = b"%1#=Z@;?x";
+
+// Malformed-input properties: every corruption must surface as `Err`,
+// never a panic and never a silently parsed read.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fastq_quality_length_mismatch_is_rejected(
+        seq in dna_concrete(1, 60),
+        delta in 1usize..6,
+        shorter in 0u8..2,
+    ) {
+        let qual_len = if shorter == 0 {
+            seq.len() + delta
+        } else {
+            seq.len().saturating_sub(delta)
+        };
+        prop_assume!(qual_len != seq.len());
+        let text = fastq_record(&seq, qual_len);
+        prop_assert!(read_fastq(std::io::Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn fastq_truncated_record_is_rejected(
+        seq in dna_concrete(1, 60),
+        keep_lines in 1usize..4,
+    ) {
+        let full = fastq_record(&seq, seq.len());
+        let truncated: String = full
+            .lines()
+            .take(keep_lines)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        prop_assert!(read_fastq(std::io::Cursor::new(truncated)).is_err());
+    }
+
+    #[test]
+    fn fastq_non_acgt_sequence_is_rejected(
+        seq in dna_concrete(1, 60),
+        at in 0usize..60,
+        bad in 0usize..BAD_SEQ_CHARS.len(),
+    ) {
+        let mut line: Vec<u8> = seq.to_ascii();
+        let at = at % line.len();
+        line[at] = BAD_SEQ_CHARS[bad];
+        let text = format!(
+            "@r0\n{}\n+\n{}\n",
+            String::from_utf8(line).unwrap(),
+            "I".repeat(seq.len()),
+        );
+        prop_assert!(read_fastq(std::io::Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn fasta_non_acgt_body_is_rejected(
+        seq in dna_concrete(1, 120),
+        at in 0usize..120,
+        bad in 0usize..BAD_SEQ_CHARS.len(),
+    ) {
+        let mut body: Vec<u8> = seq.to_ascii();
+        let at = at % body.len();
+        body[at] = BAD_SEQ_CHARS[bad];
+        let text = format!(">contig\n{}\n", String::from_utf8(body).unwrap());
+        prop_assert!(read_fasta(std::io::Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn fasta_body_before_header_is_rejected(seq in dna_concrete(1, 120)) {
+        let text = format!("{seq}\n>late-header\n");
+        prop_assert!(read_fasta(std::io::Cursor::new(text)).is_err());
+    }
+}

@@ -320,28 +320,35 @@ mod tests {
 
     #[test]
     fn world_report_carries_per_rank_cpu() {
-        let world = World::new(3);
-        let (_, report) = world.run_with_report(|rank| {
-            // Rank 2 does noticeably more work than the others.
-            let rounds = if rank.id() == 2 {
-                12_000_000u64
-            } else {
-                50_000
-            };
-            let mut acc = 0u64;
-            for i in 0..rounds {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        // Timing under scheduler noise is probabilistic: the busy rank
+        // dominating an idle one is only *likely* per attempt, so retry a
+        // few times before declaring the report wrong.
+        let mut last = None;
+        for _ in 0..5 {
+            let world = World::new(3);
+            let (_, report) = world.run_with_report(|rank| {
+                // Rank 2 does noticeably more work than the others.
+                let rounds = if rank.id() == 2 {
+                    12_000_000u64
+                } else {
+                    50_000
+                };
+                let mut acc = 0u64;
+                for i in 0..rounds {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            });
+            assert_eq!(report.rank_cpu_secs.len(), 3);
+            assert!(report.rank_cpu_secs.iter().all(|&t| t >= 0.0));
+            if (report.critical_path_secs() - report.rank_cpu_secs[2]).abs() < 1e-9
+                || report.rank_cpu_secs[2] >= report.rank_cpu_secs[0]
+            {
+                return;
             }
-            std::hint::black_box(acc);
-        });
-        assert_eq!(report.rank_cpu_secs.len(), 3);
-        assert!(report.rank_cpu_secs.iter().all(|&t| t >= 0.0));
-        assert!(
-            (report.critical_path_secs() - report.rank_cpu_secs[2]).abs() < 1e-9
-                || report.rank_cpu_secs[2] >= report.rank_cpu_secs[0],
-            "the busy rank should dominate: {:?}",
-            report.rank_cpu_secs
-        );
+            last = Some(report.rank_cpu_secs.clone());
+        }
+        panic!("the busy rank never dominated in 5 attempts: {last:?}");
     }
 
     #[test]

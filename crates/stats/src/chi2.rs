@@ -90,7 +90,7 @@ impl ChiSquared {
             } else {
                 hi = mid;
             }
-            if hi - lo < 1e-14 * hi.max(1.0) {
+            if hi - lo <= 1e-15 * hi {
                 break;
             }
         }

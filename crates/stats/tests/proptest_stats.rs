@@ -115,3 +115,74 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&p_het));
     }
 }
+
+/// A p-value in `(1e-12, 1 - 1e-12)` with deliberate tail coverage: the
+/// `tail` selector picks the bulk, the low tail (log-uniform down to
+/// 1e-12) or the matching high tail.
+fn quantile_p() -> impl Strategy<Value = f64> {
+    (1e-9f64..1.0, 0u8..3).prop_map(|(u, tail)| match tail {
+        0 => (u * (1.0 - 2e-12) + 1e-12).min(1.0 - 1e-12),
+        1 => 10f64.powf(-12.0 + 11.9 * u),
+        _ => 1.0 - 10f64.powf(-12.0 + 11.9 * u),
+    })
+}
+
+// Quantile/CDF inversion and BH behaviour under ties.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantile_inverts_cdf_and_sf(p in quantile_p(), d in 0usize..3) {
+        let dist = ChiSquared::new([1.0, 2.0, 5.0][d]);
+        let x = dist.quantile(p);
+        prop_assert!(x.is_finite() && x >= 0.0);
+        let round = dist.cdf(x);
+        // Relative in the low tail (where p itself is tiny), absolute
+        // elsewhere; quantile is documented to ~1e-12 relative.
+        prop_assert!(
+            (round - p).abs() <= 1e-9 * p.max(1e-3),
+            "cdf(quantile({p})) = {round} (dof {})", dist.dof()
+        );
+        prop_assert!(
+            (dist.sf(x) - (1.0 - p)).abs() <= 1e-9,
+            "sf(quantile({p})) = {} (dof {})", dist.sf(x), dist.dof()
+        );
+    }
+
+    #[test]
+    fn quantile_is_monotone(p1 in quantile_p(), p2 in quantile_p(), d in 0usize..3) {
+        let dist = ChiSquared::new([1.0, 2.0, 5.0][d]);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(dist.quantile(lo) <= dist.quantile(hi) + 1e-12);
+    }
+
+    #[test]
+    fn bh_adjust_respects_order_under_ties(
+        picks in proptest::collection::vec(0usize..6, 1..40),
+    ) {
+        // Draw from a coarse grid so repeated (tied) p-values are common.
+        const GRID: [f64; 6] = [0.0, 0.001, 0.02, 0.3, 0.5, 1.0];
+        let pvals: Vec<f64> = picks.iter().map(|&i| GRID[i]).collect();
+        let adj = bh_adjust(&pvals);
+        prop_assert_eq!(adj.len(), pvals.len());
+        for (&p, &a) in pvals.iter().zip(&adj) {
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!(a >= p - 1e-12, "adjusted {a} below raw {p}");
+        }
+        // Monotone: a smaller raw p never gets a larger adjusted p, and
+        // exact ties get exactly equal adjusted values.
+        for (i, &pi) in pvals.iter().enumerate() {
+            for (j, &pj) in pvals.iter().enumerate() {
+                if pi < pj {
+                    prop_assert!(adj[i] <= adj[j] + 1e-12);
+                } else if pi == pj {
+                    prop_assert!(
+                        adj[i] == adj[j],
+                        "tied p = {pi} adjusted to {} vs {} (indices {i}, {j})",
+                        adj[i], adj[j]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -17,4 +17,7 @@ cargo test -q
 echo "==> workspace tests"
 cargo test -q --workspace
 
+echo "==> conformance gate: gnumap verify --fast"
+target/release/gnumap verify --fast
+
 echo "CI gate passed."

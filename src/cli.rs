@@ -117,8 +117,10 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "map" => cmd_map(&args, out),
         "evaluate" => cmd_evaluate(&args, out),
         "index-stats" => cmd_index_stats(&args, out),
+        "verify" => cmd_verify(&args, out),
         other => Err(format!(
-            "unknown subcommand {other:?}; expected simulate | call | map | evaluate | index-stats"
+            "unknown subcommand {other:?}; expected simulate | call | map | evaluate | \
+             index-stats | verify"
         )),
     }
 }
@@ -140,6 +142,7 @@ USAGE:
   gnumap map         --reference ref.fa --reads reads.fq [--max N]
   gnumap evaluate    --calls calls.vcf --truth truth.tsv
   gnumap index-stats --reference ref.fa [--k N]
+  gnumap verify      [--fast]
 ";
 
 fn read_reference(path: &str) -> Result<(String, genome::DnaSeq), String> {
@@ -561,6 +564,20 @@ fn cmd_index_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     .map_err(|e| e.to_string())
 }
 
+fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let fast = args.flag("fast");
+    args.reject_unknown()?;
+    let report = conformance::run_verify(fast, out).map_err(|e| format!("verify: {e}"))?;
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "verification failed: {} failing check(s)",
+            report.failure_count()
+        ))
+    }
+}
+
 /// Helper for integration tests: run with string args against a buffer.
 pub fn run_to_string(argv: &[&str]) -> Result<String, String> {
     let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
@@ -624,6 +641,14 @@ mod tests {
         let args = parse_args(&argv(&["call", "--threads", "lots"])).unwrap();
         let err = args.get::<usize>("threads", 1).unwrap_err();
         assert!(err.contains("--threads"));
+    }
+
+    #[test]
+    fn verify_rejects_unknown_options_before_running() {
+        let mut buf = Vec::new();
+        let err = run(&argv(&["verify", "--bogus"]), &mut buf).unwrap_err();
+        assert!(err.contains("--bogus"));
+        assert!(buf.is_empty(), "no tier should have started");
     }
 
     #[test]

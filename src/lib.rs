@@ -53,6 +53,8 @@
 pub mod cli;
 
 pub use baseline;
+pub use conformance;
+pub use exec;
 pub use genome;
 pub use gnumap_core as core;
 pub use gnumap_stats as stats;
