@@ -1,26 +1,37 @@
 //! Criterion microbenches for the Pair-HMM kernels: forward, backward,
-//! full vs banded, scaled, and Viterbi — the ablation for the banded-DP
-//! design choice called out in DESIGN.md.
+//! full vs banded, scaled, Viterbi, and the fused zero-allocation scratch
+//! path — the ablations for the banded-DP and scratch-arena design
+//! choices called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genome::alphabet::Base;
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
 use pairhmm::backward::backward;
 use pairhmm::banded::{banded_backward, banded_forward};
 use pairhmm::forward::forward;
+use pairhmm::marginal::PosteriorAlignment;
 use pairhmm::params::PhmmParams;
 use pairhmm::pwm::Pwm;
 use pairhmm::scaling::scaled_forward;
 use pairhmm::viterbi::viterbi;
+use pairhmm::{EmissionTable, PhmmScratch};
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 
-fn random_pair(len: usize, seed: u64) -> (Vec<Vec<f64>>, PhmmParams) {
+struct Fixture {
+    pwm: Pwm,
+    window: Vec<Option<Base>>,
+    emit: EmissionTable,
+    params: PhmmParams,
+}
+
+fn random_pair(len: usize, seed: u64) -> Fixture {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let params = PhmmParams::default();
-    let bases: Vec<genome::alphabet::Base> = (0..len)
-        .map(|_| genome::alphabet::Base::from_index(rng.random_range(0..4)))
+    let bases: Vec<Base> = (0..len)
+        .map(|_| Base::from_index(rng.random_range(0..4)))
         .collect();
     let genome_seq = DnaSeq::from_bases(bases.iter().copied());
     // Read = the window with ~1% mutations, realistic qualities.
@@ -36,28 +47,34 @@ fn random_pair(len: usize, seed: u64) -> (Vec<Vec<f64>>, PhmmParams) {
         .collect();
     let quals: Vec<u8> = (0..len).map(|i| 40 - (i * 20 / len.max(1)) as u8).collect();
     let read = SequencedRead::new("bench", read_seq, quals).unwrap();
-    let window: Vec<_> = genome_seq.iter().collect();
-    let emit = Pwm::from_read(&read).emission_table(&window, &params);
-    (emit, params)
+    let window: Vec<Option<Base>> = genome_seq.iter().collect();
+    let pwm = Pwm::from_read(&read);
+    let emit = pwm.emission_table(&window, &params);
+    Fixture {
+        pwm,
+        window,
+        emit,
+        params,
+    }
 }
 
 fn bench_forward_by_length(c: &mut Criterion) {
     let mut group = c.benchmark_group("phmm_forward");
     for len in [36usize, 62, 100, 150] {
-        let (emit, params) = random_pair(len, 1);
+        let fx = random_pair(len, 1);
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| black_box(forward(black_box(&emit), &params).total))
+            b.iter(|| black_box(forward(black_box(fx.emit.view()), &fx.params).total))
         });
     }
     group.finish();
 }
 
 fn bench_forward_backward_pair(c: &mut Criterion) {
-    let (emit, params) = random_pair(62, 2);
+    let fx = random_pair(62, 2);
     c.bench_function("phmm_forward_backward_62bp", |b| {
         b.iter(|| {
-            let f = forward(black_box(&emit), &params);
-            let bwd = backward(black_box(&emit), &params);
+            let f = forward(black_box(fx.emit.view()), &fx.params);
+            let bwd = backward(black_box(fx.emit.view()), &fx.params);
             black_box(f.total + bwd.total)
         })
     });
@@ -65,29 +82,65 @@ fn bench_forward_backward_pair(c: &mut Criterion) {
 
 fn bench_banded_vs_full(c: &mut Criterion) {
     let mut group = c.benchmark_group("phmm_banded_vs_full_62bp");
-    let (emit, params) = random_pair(62, 3);
+    let fx = random_pair(62, 3);
     group.bench_function("full", |b| {
-        b.iter(|| black_box(forward(black_box(&emit), &params).total))
+        b.iter(|| black_box(forward(black_box(fx.emit.view()), &fx.params).total))
     });
     for w in [2usize, 4, 8, 16] {
         group.bench_with_input(BenchmarkId::new("banded", w), &w, |b, &w| {
-            b.iter(|| black_box(banded_forward(black_box(&emit), &params, w).total))
+            b.iter(|| black_box(banded_forward(black_box(fx.emit.view()), &fx.params, w).total))
         });
     }
     group.bench_function("banded_backward_w4", |b| {
-        b.iter(|| black_box(banded_backward(black_box(&emit), &params, 4).total))
+        b.iter(|| black_box(banded_backward(black_box(fx.emit.view()), &fx.params, 4).total))
     });
     group.finish();
 }
 
 fn bench_scaled_and_viterbi(c: &mut Criterion) {
-    let (emit, params) = random_pair(62, 4);
+    let fx = random_pair(62, 4);
     c.bench_function("phmm_scaled_forward_62bp", |b| {
-        b.iter(|| black_box(scaled_forward(black_box(&emit), &params).log_total))
+        b.iter(|| black_box(scaled_forward(black_box(fx.emit.view()), &fx.params).log_total))
     });
     c.bench_function("phmm_viterbi_62bp", |b| {
-        b.iter(|| black_box(viterbi(black_box(&emit), &params).probability))
+        b.iter(|| black_box(viterbi(black_box(fx.emit.view()), &fx.params).probability))
     });
+}
+
+/// The materialized-tables marginal pass vs the fused streaming scratch
+/// path — the headline ablation for the scratch-arena refactor.
+fn bench_marginal_fused_vs_materialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phmm_marginal_62bp");
+    let fx = random_pair(62, 5);
+    group.bench_function("materialized", |b| {
+        b.iter(|| {
+            let post = PosteriorAlignment::from_emissions(black_box(fx.emit.view()), &fx.params);
+            black_box(post.column_posteriors(&fx.pwm))
+        })
+    });
+    let mut scratch = PhmmScratch::new();
+    group.bench_function("fused_scratch", |b| {
+        b.iter(|| {
+            black_box(scratch.posterior_columns(
+                black_box(&fx.pwm),
+                black_box(&fx.window),
+                &fx.params,
+                None,
+            ))
+        })
+    });
+    let mut banded_scratch = PhmmScratch::new();
+    group.bench_function("fused_scratch_banded_w4", |b| {
+        b.iter(|| {
+            black_box(banded_scratch.posterior_columns(
+                black_box(&fx.pwm),
+                black_box(&fx.window),
+                &fx.params,
+                Some(4),
+            ))
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(
@@ -95,6 +148,7 @@ criterion_group!(
     bench_forward_by_length,
     bench_forward_backward_pair,
     bench_banded_vs_full,
-    bench_scaled_and_viterbi
+    bench_scaled_and_viterbi,
+    bench_marginal_fused_vs_materialized
 );
 criterion_main!(benches);

@@ -85,19 +85,18 @@ struct LogPhmm {
 }
 
 impl LogPhmm {
-    fn new(emit: &[Vec<f64>], params: &PhmmParams) -> LogPhmm {
+    fn new(emit: pairhmm::Emission<'_>, params: &PhmmParams) -> LogPhmm {
         LogPhmm {
-            ln_emit: emit
-                .iter()
-                .map(|row| row.iter().map(|&p| p.ln()).collect())
+            ln_emit: (0..emit.n())
+                .map(|i| emit.row(i).iter().map(|&p| p.ln()).collect())
                 .collect(),
             ln_tmm: params.t_mm.ln(),
             ln_tmg: params.t_mg.ln(),
             ln_tgm: params.t_gm.ln(),
             ln_tgg: params.t_gg.ln(),
             ln_q: params.q.ln(),
-            n: emit.len(),
-            m: emit[0].len(),
+            n: emit.n(),
+            m: emit.m(),
         }
     }
 
@@ -238,7 +237,7 @@ fn phmm_tier(out: &mut Outcome, cases: usize) {
         let (pwm, window) = random_case(&mut rng);
         let params = if case % 3 == 2 { &gappy } else { &default };
         let emit = pwm.emission_table(&window, params);
-        let phmm = LogPhmm::new(&emit, params);
+        let phmm = LogPhmm::new(emit.view(), params);
         let (lf, lf_total) = phmm.forward();
         let (lb, lb_total) = phmm.backward();
 
@@ -248,7 +247,7 @@ fn phmm_tier(out: &mut Outcome, cases: usize) {
             format!("oracle fwd/bwd totals disagree on case {case}: {lf_total} vs {lb_total}")
         });
 
-        let prod = PosteriorAlignment::from_emissions(&emit, params);
+        let prod = PosteriorAlignment::from_emissions(emit.view(), params);
         let prod_ln_total = prod.total().ln();
         out.check((lf_total - prod_ln_total).abs() < 1e-9, || {
             format!(

@@ -79,6 +79,11 @@ pub fn run_genome_split<A: GenomeAccumulator>(
         let engine = MappingEngine::new(&slice, config.mapping);
         let mut acc = A::new(slice.len());
         let mut mapped_here = 0u64;
+        // One scratch arena per rank, reused across every batch. Owned
+        // alignments are only materialised for placements this shard keeps
+        // (they must outlive the allreduce below), so out-of-shard
+        // candidates never touch the heap.
+        let mut scratch = crate::mapping::AlignScratch::new();
 
         for batch in reads.chunks(BATCH) {
             // Score each read locally; keep only placements owned by this
@@ -88,12 +93,19 @@ pub fn run_genome_split<A: GenomeAccumulator>(
             let mut owned: Vec<Vec<crate::mapping::RawAlignment>> = Vec::with_capacity(batch.len());
             let mut triples: Vec<Vec<(u64, u64, f64)>> = Vec::with_capacity(batch.len());
             for read in batch.iter() {
-                let raw: Vec<_> = engine
-                    .map_read_raw(read)
-                    .into_iter()
+                engine.map_read_raw_with(read, &mut scratch);
+                let raw: Vec<crate::mapping::RawAlignment> = scratch
+                    .alignments()
                     .filter(|a| {
                         let global_placement = slice_start + a.placement_start;
                         shard.contains(global_placement)
+                    })
+                    .map(|a| crate::mapping::RawAlignment {
+                        window_start: a.window_start,
+                        placement_start: a.placement_start,
+                        likelihood: a.score,
+                        reverse: a.reverse,
+                        columns: a.columns.to_vec(),
                     })
                     .collect();
                 triples.push(

@@ -9,8 +9,8 @@
 
 use crate::accum::GenomeAccumulator;
 use crate::config::GnumapConfig;
-use crate::mapping::MappingEngine;
-use crate::pipeline::accumulate_reads;
+use crate::mapping::{AlignScratch, MappingEngine};
+use crate::pipeline::accumulate_reads_with;
 use crate::report::RunReport;
 use crate::snpcall::call_snps;
 use genome::read::SequencedRead;
@@ -41,7 +41,11 @@ pub fn run_rayon<A: GenomeAccumulator>(
             .par_chunks(chunk_size)
             .map(|chunk| {
                 let mut acc = A::new(reference.len());
-                let mapped = accumulate_reads(&engine, chunk, &mut acc);
+                // Per-chunk scratch: the Pair-HMM planes and column arena
+                // are allocated once here and reused for every read in the
+                // worker's chunk.
+                let mut scratch = AlignScratch::new();
+                let mapped = accumulate_reads_with(&engine, chunk, &mut acc, &mut scratch);
                 (acc, mapped)
             })
             .collect()

@@ -44,13 +44,15 @@ pub fn run_read_split<A: GenomeAccumulator>(
         let my_reads: Vec<&SequencedRead> =
             reads.iter().skip(rank.id()).step_by(rank.size()).collect();
         let mut mapped = 0usize;
+        // One scratch arena per rank, reused across its whole read share.
+        let mut scratch = crate::mapping::AlignScratch::new();
         for read in my_reads {
-            let alignments = engine.map_read(read);
-            if !alignments.is_empty() {
+            engine.map_read_with(read, &mut scratch);
+            if !scratch.is_empty() {
                 mapped += 1;
             }
-            for aln in alignments {
-                crate::pipeline::deposit(&mut acc, aln.window_start, aln.weight, &aln.columns);
+            for aln in scratch.alignments() {
+                crate::pipeline::deposit(&mut acc, aln.window_start, aln.score, aln.columns);
             }
         }
         // "Communicate the state of their genome": gather accumulator
@@ -113,13 +115,14 @@ pub fn run_read_split_ring(
         let engine = MappingEngine::new(reference, config.mapping);
         let mut acc = NormAccumulator::new(reference.len());
         let mut mapped = 0usize;
+        let mut scratch = crate::mapping::AlignScratch::new();
         for read in reads.iter().skip(rank.id()).step_by(rank.size()) {
-            let alignments = engine.map_read(read);
-            if !alignments.is_empty() {
+            engine.map_read_with(read, &mut scratch);
+            if !scratch.is_empty() {
                 mapped += 1;
             }
-            for aln in alignments {
-                crate::pipeline::deposit(&mut acc, aln.window_start, aln.weight, &aln.columns);
+            for aln in scratch.alignments() {
+                crate::pipeline::deposit(&mut acc, aln.window_start, aln.score, aln.columns);
             }
         }
         // Every rank ends up with the fully reduced accumulator.

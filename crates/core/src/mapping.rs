@@ -9,13 +9,14 @@
 //! evidence to each — exactly the multi-mapping behaviour the paper argues
 //! makes SNP calls unbiased in repeat regions.
 
+use genome::alphabet::Base;
 use genome::index::{IndexConfig, KmerIndex};
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
-use pairhmm::marginal::{ColumnPosterior, PosteriorAlignment};
+use pairhmm::marginal::ColumnPosterior;
 use pairhmm::params::PhmmParams;
 use pairhmm::pwm::Pwm;
-use std::collections::BTreeSet;
+use pairhmm::scratch::PhmmScratch;
 
 /// Configuration of the mapping engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +55,95 @@ impl Default for MappingConfig {
             min_weight: 1e-4,
             max_candidates: 64,
         }
+    }
+}
+
+/// Reusable per-thread scratch for the whole mapping hot path.
+///
+/// One instance is meant to live as long as a worker thread's read batch:
+/// the Pair-HMM planes, the window buffer, the candidate list and the
+/// column arena are all grow-only, so after the first few reads the
+/// engine performs **zero heap allocations per read×window pair**
+/// (per-read allocations — the reverse complement and the PWM — remain,
+/// but are independent of the candidate count). Results of
+/// [`MappingEngine::map_read_with`] / [`MappingEngine::map_read_raw_with`]
+/// are left inside the scratch and read back through
+/// [`AlignScratch::alignments`].
+#[derive(Default)]
+pub struct AlignScratch {
+    /// Pair-HMM emission/DP/rolling-row arena (see [`PhmmScratch`]).
+    phmm: PhmmScratch,
+    /// Genome window buffer, refilled per candidate.
+    window: Vec<Option<Base>>,
+    /// Sorted, deduplicated candidate starts for one oriented read.
+    starts: Vec<usize>,
+    /// Column arena: every scored candidate appends its posteriors here.
+    cols: Vec<ColumnPosterior>,
+    /// Candidate metadata indexing into `cols`.
+    cands: Vec<CandMeta>,
+}
+
+/// One scored candidate inside an [`AlignScratch`].
+struct CandMeta {
+    window_start: usize,
+    placement_start: usize,
+    /// Raw likelihood after `map_read_raw_with`; posterior weight after
+    /// `map_read_with`.
+    score: f64,
+    reverse: bool,
+    col_off: usize,
+    col_len: usize,
+}
+
+/// Borrowed view of one alignment stored in an [`AlignScratch`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlignmentView<'a> {
+    /// Genome position of the window's first column.
+    pub window_start: usize,
+    /// Genome position the seeds proposed for read base 1.
+    pub placement_start: usize,
+    /// Raw Pair-HMM likelihood (after
+    /// [`MappingEngine::map_read_raw_with`]) or normalised posterior
+    /// weight (after [`MappingEngine::map_read_with`]).
+    pub score: f64,
+    /// Reverse-strand flag.
+    pub reverse: bool,
+    /// Per-column evidence vectors, unweighted.
+    pub columns: &'a [ColumnPosterior],
+}
+
+impl AlignScratch {
+    /// Fresh, empty scratch. Buffers grow to the working-set size over the
+    /// first few reads and are then reused.
+    pub fn new() -> AlignScratch {
+        AlignScratch::default()
+    }
+
+    /// Iterate the alignments produced by the most recent
+    /// `map_read_with` / `map_read_raw_with` call.
+    pub fn alignments(&self) -> impl Iterator<Item = AlignmentView<'_>> + '_ {
+        self.cands.iter().map(move |c| AlignmentView {
+            window_start: c.window_start,
+            placement_start: c.placement_start,
+            score: c.score,
+            reverse: c.reverse,
+            columns: &self.cols[c.col_off..c.col_off + c.col_len],
+        })
+    }
+
+    /// Number of alignments currently held.
+    pub fn len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Whether the most recent mapping produced no alignments.
+    pub fn is_empty(&self) -> bool {
+        self.cands.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.cols.clear();
+        self.cands.clear();
     }
 }
 
@@ -120,9 +210,13 @@ impl<'g> MappingEngine<'g> {
     }
 
     /// Candidate placement starts for one oriented read: deduplicated
-    /// diagonals from the seed hits, in increasing genome order.
-    fn candidates(&self, oriented: &SequencedRead) -> Vec<usize> {
-        let mut starts = BTreeSet::new();
+    /// diagonals from the seed hits, collected into `starts` in increasing
+    /// genome order. A sorted-insert vector replaces the obvious
+    /// `BTreeSet` so the buffer can be reused across reads; the insert
+    /// sequence, the dedup behaviour, the `max_candidates` cut-off and the
+    /// ascending output order are all identical.
+    fn candidates_into(&self, oriented: &SequencedRead, starts: &mut Vec<usize>) {
+        starts.clear();
         for (qoff, gpos) in self.index.seed_hits(&oriented.seq) {
             let gpos = gpos as usize;
             if gpos < qoff {
@@ -130,101 +224,138 @@ impl<'g> MappingEngine<'g> {
             }
             let start = gpos - qoff;
             if start + oriented.len() <= self.genome.len() {
-                starts.insert(start);
+                if let Err(pos) = starts.binary_search(&start) {
+                    starts.insert(pos, start);
+                }
             }
             if starts.len() >= self.config.max_candidates {
                 break;
             }
         }
-        starts.into_iter().collect()
     }
 
-    /// Score one oriented read against the window at placement `start`.
-    /// Returns the window start, the alignment's total likelihood and its
-    /// per-column posteriors.
+    /// Score one oriented read against the window at placement `start`,
+    /// using the caller's scratch buffers. On success the columns are left
+    /// in `phmm` (read them via [`PhmmScratch::columns`]) and the total
+    /// likelihood is returned.
     ///
     /// Every candidate is scored over the same window length
     /// `N + window_pad` (genome positions past the end become virtual `N`
     /// bases), so likelihoods are directly comparable across a read's
     /// candidate locations — a requirement for unbiased posterior weights.
-    fn score_candidate(
+    fn score_candidate_with(
         &self,
         oriented: &SequencedRead,
         pwm: &Pwm,
         start: usize,
-    ) -> Option<(usize, f64, Vec<ColumnPosterior>)> {
+        phmm: &mut PhmmScratch,
+        window: &mut Vec<Option<Base>>,
+    ) -> Option<f64> {
         let pad = self.config.window_pad;
-        let ws = start;
-        let window: Vec<_> = (0..oriented.len() + pad)
-            .map(|j| self.genome.try_get(ws + j).flatten())
-            .collect();
-        let emit = pwm.emission_table(&window, &self.config.phmm);
-        let post = match self.config.band {
-            Some(w) => PosteriorAlignment::from_emissions_banded(&emit, &self.config.phmm, w + pad),
-            None => PosteriorAlignment::from_emissions(&emit, &self.config.phmm),
-        };
-        let total = post.total();
-        if total <= 0.0 {
-            return None;
-        }
-        let columns = post.column_posteriors(pwm);
-        Some((ws, total, columns))
+        window.clear();
+        window.extend((0..oriented.len() + pad).map(|j| self.genome.try_get(start + j).flatten()));
+        let band = self.config.band.map(|w| w + pad);
+        let total = phmm.posterior_columns(pwm, window, &self.config.phmm, band);
+        (total > 0.0).then_some(total)
     }
 
-    /// Map one read returning **unnormalised** candidate alignments: each
-    /// carries its raw Pair-HMM total likelihood instead of a posterior
-    /// weight. The genome-split driver needs this form, because the
-    /// normalising constant must be computed *across shards* (paper:
-    /// "Communication between machines via message passing determines
-    /// \[the\] additional locations and calculates the final score").
-    pub fn map_read_raw(&self, read: &SequencedRead) -> Vec<RawAlignment> {
+    /// Map one read into `scratch`, leaving **unnormalised** candidate
+    /// alignments (each carries its raw Pair-HMM total likelihood in
+    /// [`AlignmentView::score`]). The genome-split driver needs this form,
+    /// because the normalising constant must be computed *across shards*
+    /// (paper: "Communication between machines via message passing
+    /// determines \[the\] additional locations and calculates the final
+    /// score").
+    pub fn map_read_raw_with(&self, read: &SequencedRead, scratch: &mut AlignScratch) {
+        scratch.clear();
         let rc = read.reverse_complement();
-        let mut raw: Vec<RawAlignment> = Vec::new();
         for (reverse, oriented) in [(false, read), (true, &rc)] {
             let pwm = Pwm::from_read(oriented);
-            for start in self.candidates(oriented) {
-                if let Some((ws, total, columns)) = self.score_candidate(oriented, &pwm, start) {
-                    raw.push(RawAlignment {
-                        window_start: ws,
+            self.candidates_into(oriented, &mut scratch.starts);
+            for idx in 0..scratch.starts.len() {
+                let start = scratch.starts[idx];
+                let AlignScratch {
+                    phmm,
+                    window,
+                    cols,
+                    cands,
+                    ..
+                } = scratch;
+                if let Some(total) = self.score_candidate_with(oriented, &pwm, start, phmm, window)
+                {
+                    let col_off = cols.len();
+                    cols.extend_from_slice(phmm.columns());
+                    cands.push(CandMeta {
+                        window_start: start,
                         placement_start: start,
-                        likelihood: total,
+                        score: total,
                         reverse,
-                        columns,
+                        col_off,
+                        col_len: cols.len() - col_off,
                     });
                 }
             }
         }
-        raw
     }
 
-    /// Map one read: all candidate placements on both strands, scored and
-    /// posterior-normalised. Returns an empty vector for unmappable reads.
-    pub fn map_read(&self, read: &SequencedRead) -> Vec<ReadAlignment> {
-        let raw = self.map_read_raw(read);
-        let grand_total: f64 = raw.iter().map(|a| a.likelihood).sum();
+    /// Map one read into `scratch`: all candidate placements on both
+    /// strands, scored and posterior-normalised
+    /// ([`AlignmentView::score`] holds the weight). The scratch is left
+    /// empty for unmappable reads.
+    pub fn map_read_with(&self, read: &SequencedRead, scratch: &mut AlignScratch) {
+        self.map_read_raw_with(read, scratch);
+        let grand_total: f64 = scratch.cands.iter().map(|c| c.score).sum();
         if grand_total <= 0.0 {
-            return Vec::new();
+            scratch.cands.clear();
+            return;
         }
         // Posterior weights; drop negligible locations, renormalise.
-        let mut kept: Vec<ReadAlignment> = raw
-            .into_iter()
-            .filter_map(|a| {
-                let weight = a.likelihood / grand_total;
-                (weight >= self.config.min_weight).then_some(ReadAlignment {
-                    window_start: a.window_start,
-                    weight,
-                    reverse: a.reverse,
-                    columns: a.columns,
-                })
-            })
-            .collect();
-        let kept_sum: f64 = kept.iter().map(|a| a.weight).sum();
+        // `retain_mut` preserves order, so the kept set and both sums are
+        // evaluated in exactly the order the Vec-returning path used.
+        scratch.cands.retain_mut(|c| {
+            c.score /= grand_total;
+            c.score >= self.config.min_weight
+        });
+        let kept_sum: f64 = scratch.cands.iter().map(|c| c.score).sum();
         if kept_sum > 0.0 {
-            for a in &mut kept {
-                a.weight /= kept_sum;
+            for c in &mut scratch.cands {
+                c.score /= kept_sum;
             }
         }
-        kept
+    }
+
+    /// Convenience wrapper around [`MappingEngine::map_read_raw_with`]
+    /// that allocates owned `RawAlignment`s with a throwaway scratch.
+    pub fn map_read_raw(&self, read: &SequencedRead) -> Vec<RawAlignment> {
+        let mut scratch = AlignScratch::new();
+        self.map_read_raw_with(read, &mut scratch);
+        scratch
+            .alignments()
+            .map(|v| RawAlignment {
+                window_start: v.window_start,
+                placement_start: v.placement_start,
+                likelihood: v.score,
+                reverse: v.reverse,
+                columns: v.columns.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Convenience wrapper around [`MappingEngine::map_read_with`] that
+    /// allocates owned `ReadAlignment`s with a throwaway scratch. Returns
+    /// an empty vector for unmappable reads.
+    pub fn map_read(&self, read: &SequencedRead) -> Vec<ReadAlignment> {
+        let mut scratch = AlignScratch::new();
+        self.map_read_with(read, &mut scratch);
+        scratch
+            .alignments()
+            .map(|v| ReadAlignment {
+                window_start: v.window_start,
+                weight: v.score,
+                reverse: v.reverse,
+                columns: v.columns.to_vec(),
+            })
+            .collect()
     }
 }
 

@@ -8,7 +8,7 @@ use crate::accum::{
     AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
 };
 use crate::config::GnumapConfig;
-use crate::mapping::MappingEngine;
+use crate::mapping::{AlignScratch, MappingEngine};
 use crate::report::RunReport;
 use crate::snpcall::call_snps;
 use genome::read::SequencedRead;
@@ -23,14 +23,28 @@ pub fn accumulate_reads<A: GenomeAccumulator>(
     reads: &[SequencedRead],
     acc: &mut A,
 ) -> usize {
+    let mut scratch = AlignScratch::new();
+    accumulate_reads_with(engine, reads, acc, &mut scratch)
+}
+
+/// [`accumulate_reads`] with a caller-provided [`AlignScratch`], so a
+/// worker thread can reuse one arena across many batches. Alignments are
+/// deposited straight out of the scratch — no per-read `Vec` of owned
+/// alignments is ever materialised.
+pub fn accumulate_reads_with<A: GenomeAccumulator>(
+    engine: &MappingEngine<'_>,
+    reads: &[SequencedRead],
+    acc: &mut A,
+    scratch: &mut AlignScratch,
+) -> usize {
     let mut mapped = 0usize;
     for read in reads {
-        let alignments = engine.map_read(read);
-        if !alignments.is_empty() {
+        engine.map_read_with(read, scratch);
+        if !scratch.is_empty() {
             mapped += 1;
         }
-        for aln in alignments {
-            deposit(acc, aln.window_start, aln.weight, &aln.columns);
+        for aln in scratch.alignments() {
+            deposit(acc, aln.window_start, aln.score, aln.columns);
         }
     }
     mapped

@@ -207,18 +207,21 @@ pub fn run_stream<A: GenomeAccumulator>(
                     let cpu = ThreadCpuTimer::start();
                     let mut stall = Duration::ZERO;
                     let mut backoff = Backoff::new();
+                    // Per-worker scratch arena, reused for every stolen
+                    // batch this thread ever processes.
+                    let mut scratch = gnumap_core::mapping::AlignScratch::new();
                     loop {
                         match injector.steal() {
                             Steal::Success(batch) => {
                                 backoff.reset();
                                 let mut mapped = 0usize;
                                 for read in &batch.reads {
-                                    let alignments = engine.map_read(read);
-                                    if !alignments.is_empty() {
+                                    engine.map_read_with(read, &mut scratch);
+                                    if !scratch.is_empty() {
                                         mapped += 1;
                                     }
-                                    for aln in alignments {
-                                        sharded.deposit(aln.window_start, aln.weight, &aln.columns);
+                                    for aln in scratch.alignments() {
+                                        sharded.deposit(aln.window_start, aln.score, aln.columns);
                                     }
                                 }
                                 let _ = done_tx.send(BatchDone {

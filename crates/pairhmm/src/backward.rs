@@ -12,8 +12,15 @@
 //! b_GX(i,j) = p*(i+1,j+1)·T_GM·b_M(i+1,j+1) + q·T_GG·b_GX(i+1,j)
 //! b_GY(i,j) = p*(i+1,j+1)·T_GM·b_M(i+1,j+1) + q·T_GG·b_GY(i,j+1)
 //! ```
+//!
+//! Cell arithmetic lives in [`crate::kernel::backward_planes`]; this
+//! module materialises the full tables (needed by the cell-level posterior
+//! accessors and the test oracles — the mapping hot path uses the fused
+//! streaming pass in [`crate::scratch`] instead and never builds them).
 
+use crate::emission::Emission;
 use crate::forward::DpTables;
+use crate::kernel;
 use crate::params::PhmmParams;
 
 /// Result of the backward pass.
@@ -29,84 +36,37 @@ pub struct BackwardResult {
     pub total: f64,
 }
 
-/// Run the backward algorithm over the same emission table as
+/// Run the backward algorithm over the same emission view as
 /// [`crate::forward::forward`].
-pub fn backward(emit: &[Vec<f64>], params: &PhmmParams) -> BackwardResult {
-    let n = emit.len();
-    assert!(n >= 1, "read must be non-empty");
-    let m = emit[0].len();
-    assert!(m >= 1, "window must be non-empty");
-    debug_assert!(emit.iter().all(|r| r.len() == m));
-
+pub fn backward(emit: Emission<'_>, params: &PhmmParams) -> BackwardResult {
+    let (n, m) = (emit.n(), emit.m());
     let mut t = DpTables::zeros(n, m);
-    t.m.set(n, m, 1.0);
-    t.x.set(n, m, 1.0);
-    t.y.set(n, m, 1.0);
-
-    let &PhmmParams {
-        t_mm,
-        t_mg,
-        t_gm,
-        t_gg,
-        q,
-        ..
-    } = params;
-
-    // p*(i+1, j+1) with the paper's out-of-range convention p* = 0.
-    let emit_at = |i: usize, j: usize| -> f64 {
-        if i < n && j < m {
-            emit[i][j] // emit is 0-based: emit[i][j] = p*(i+1, j+1)
-        } else {
-            0.0
-        }
-    };
-    // Table reads beyond (n, m) are the zero border.
-    let get = |mat: &crate::matrix::Matrix, i: usize, j: usize| -> f64 {
-        if i <= n && j <= m {
-            mat.get(i, j)
-        } else {
-            0.0
-        }
-    };
-
-    for i in (1..=n).rev() {
-        for j in (1..=m).rev() {
-            if i == n && j == m {
-                continue; // initialised above
-            }
-            let diag = emit_at(i, j); // p*(i+1, j+1)
-            let bm_diag = get(&t.m, i + 1, j + 1);
-            let bm = diag * t_mm * bm_diag + q * t_mg * (get(&t.x, i + 1, j) + get(&t.y, i, j + 1));
-            let bx = diag * t_gm * bm_diag + q * t_gg * get(&t.x, i + 1, j);
-            let by = diag * t_gm * bm_diag + q * t_gg * get(&t.y, i, j + 1);
-            t.m.set(i, j, bm);
-            t.x.set(i, j, bx);
-            t.y.set(i, j, by);
-        }
-    }
-
-    let total = emit[0][0] * t_mm * t.m.get(1, 1);
+    let total = kernel::backward_planes(
+        emit,
+        params,
+        t.m.as_mut_slice(),
+        t.x.as_mut_slice(),
+        t.y.as_mut_slice(),
+        None,
+    );
     BackwardResult { tables: t, total }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emission::EmissionTable;
     use crate::forward::forward;
 
-    fn uniform_emit(n: usize, m: usize, p: f64) -> Vec<Vec<f64>> {
-        vec![vec![p; m]; n]
+    fn uniform_emit(n: usize, m: usize, p: f64) -> EmissionTable {
+        EmissionTable::from_fn(n, m, |_, _| p)
     }
 
-    fn varied_emit(n: usize, m: usize) -> Vec<Vec<f64>> {
+    fn varied_emit(n: usize, m: usize) -> EmissionTable {
         // Deterministic but non-uniform emissions in (0, 1).
-        (0..n)
-            .map(|i| {
-                (0..m)
-                    .map(|j| 0.15 + 0.8 * (((i * 31 + j * 17 + 7) % 13) as f64 / 13.0))
-                    .collect()
-            })
-            .collect()
+        EmissionTable::from_fn(n, m, |i, j| {
+            0.15 + 0.8 * (((i * 31 + j * 17 + 7) % 13) as f64 / 13.0)
+        })
     }
 
     #[test]
@@ -114,8 +74,8 @@ mod tests {
         let params = PhmmParams::default();
         for (n, m) in [(1, 1), (2, 3), (5, 5), (8, 6), (12, 14)] {
             let emit = uniform_emit(n, m, 0.85);
-            let f = forward(&emit, &params).total;
-            let b = backward(&emit, &params).total;
+            let f = forward(emit.view(), &params).total;
+            let b = backward(emit.view(), &params).total;
             assert!(
                 (f - b).abs() <= 1e-12 * f.max(1e-300),
                 "totals disagree for {n}x{m}: fwd {f} bwd {b}"
@@ -128,8 +88,8 @@ mod tests {
         let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.03);
         for (n, m) in [(3, 3), (6, 9), (10, 10), (17, 13)] {
             let emit = varied_emit(n, m);
-            let f = forward(&emit, &params).total;
-            let b = backward(&emit, &params).total;
+            let f = forward(emit.view(), &params).total;
+            let b = backward(emit.view(), &params).total;
             assert!(
                 (f - b).abs() <= 1e-12 * f.max(1e-300),
                 "totals disagree for {n}x{m}: fwd {f} bwd {b}"
@@ -144,8 +104,8 @@ mod tests {
         //   Σ_j [ f_M·b_M + f_X·b_X ](i, j) = total.
         let params = PhmmParams::default();
         let emit = varied_emit(7, 9);
-        let f = forward(&emit, &params);
-        let b = backward(&emit, &params);
+        let f = forward(emit.view(), &params);
+        let b = backward(emit.view(), &params);
         for i in 1..=7usize {
             let mut acc = 0.0;
             for j in 1..=9usize {
@@ -166,8 +126,8 @@ mod tests {
         // state: Σ_i [ f_M·b_M + f_Y·b_Y ](i, j) = total for each j.
         let params = PhmmParams::with_gap_rates(0.04, 0.6, 0.02);
         let emit = varied_emit(9, 6);
-        let f = forward(&emit, &params);
-        let b = backward(&emit, &params);
+        let f = forward(emit.view(), &params);
+        let b = backward(emit.view(), &params);
         for j in 1..=6usize {
             let mut acc = 0.0;
             for i in 1..=9usize {
@@ -185,7 +145,7 @@ mod tests {
     #[test]
     fn terminal_cell_is_one() {
         let emit = uniform_emit(3, 4, 0.5);
-        let b = backward(&emit, &PhmmParams::default());
+        let b = backward(emit.view(), &PhmmParams::default());
         assert_eq!(b.tables.m.get(3, 4), 1.0);
         assert_eq!(b.tables.x.get(3, 4), 1.0);
         assert_eq!(b.tables.y.get(3, 4), 1.0);

@@ -8,122 +8,52 @@
 //! mapping tractable at genome scale. Cells outside the band are treated as
 //! zero, so the banded total is a lower bound on the full total and
 //! converges to it as `w` grows.
+//!
+//! These are thin wrappers: the banded and full recursions share one
+//! implementation in [`crate::kernel`], differing only in the `Band`
+//! argument — per-row column ranges from [`kernel::diagonal_bounds`]
+//! instead of `[1, m]`.
 
 use crate::backward::BackwardResult;
+use crate::emission::Emission;
 use crate::forward::{DpTables, ForwardResult};
+use crate::kernel;
 use crate::params::PhmmParams;
 
 /// Inclusive diagonal bounds for a read of length `n`, window of length
 /// `m`, and band half-width `w`: cell `(i, j)` is inside iff
-/// `lo <= j - i <= hi`.
-fn diagonal_bounds(n: usize, m: usize, w: usize) -> (isize, isize) {
-    let delta = m as isize - n as isize;
-    (delta.min(0) - w as isize, delta.max(0) + w as isize)
-}
-
-#[inline]
-fn in_band(i: usize, j: usize, lo: isize, hi: isize) -> bool {
-    let d = j as isize - i as isize;
-    d >= lo && d <= hi
-}
+/// `lo <= j - i <= hi`. Re-exported from [`crate::kernel`].
+pub use crate::kernel::diagonal_bounds;
 
 /// Banded forward pass; outside-band cells stay zero.
-pub fn banded_forward(emit: &[Vec<f64>], params: &PhmmParams, w: usize) -> ForwardResult {
-    let n = emit.len();
-    assert!(n >= 1, "read must be non-empty");
-    let m = emit[0].len();
-    assert!(m >= 1, "window must be non-empty");
-    let (lo, hi) = diagonal_bounds(n, m, w);
-
+pub fn banded_forward(emit: Emission<'_>, params: &PhmmParams, w: usize) -> ForwardResult {
+    let (n, m) = (emit.n(), emit.m());
     let mut t = DpTables::zeros(n, m);
-    t.m.set(0, 0, 1.0);
-
-    let &PhmmParams {
-        t_mm,
-        t_mg,
-        t_gm,
-        t_gg,
-        q,
-        ..
-    } = params;
-
-    for i in 1..=n {
-        // Column range of the band in this row, clamped to [1, m].
-        let j_min = ((i as isize + lo).max(1)) as usize;
-        let j_max = ((i as isize + hi).min(m as isize)).max(0) as usize;
-        for j in j_min..=j_max.max(j_min).min(m) {
-            if !in_band(i, j, lo, hi) {
-                continue;
-            }
-            let fm = emit[i - 1][j - 1]
-                * (t_mm * t.m.get(i - 1, j - 1)
-                    + t_gm * (t.x.get(i - 1, j - 1) + t.y.get(i - 1, j - 1)));
-            let fx = q * (t_mg * t.m.get(i - 1, j) + t_gg * t.x.get(i - 1, j));
-            let fy = q * (t_mg * t.m.get(i, j - 1) + t_gg * t.y.get(i, j - 1));
-            t.m.set(i, j, fm);
-            t.x.set(i, j, fx);
-            t.y.set(i, j, fy);
-        }
-    }
-
-    let total = t.m.get(n, m) + t.x.get(n, m) + t.y.get(n, m);
+    let band = Some(kernel::diagonal_bounds(n, m, w));
+    let total = kernel::forward_planes(
+        emit,
+        params,
+        t.m.as_mut_slice(),
+        t.x.as_mut_slice(),
+        t.y.as_mut_slice(),
+        band,
+    );
     ForwardResult { tables: t, total }
 }
 
 /// Banded backward pass; outside-band cells stay zero.
-pub fn banded_backward(emit: &[Vec<f64>], params: &PhmmParams, w: usize) -> BackwardResult {
-    let n = emit.len();
-    assert!(n >= 1, "read must be non-empty");
-    let m = emit[0].len();
-    assert!(m >= 1, "window must be non-empty");
-    let (lo, hi) = diagonal_bounds(n, m, w);
-
+pub fn banded_backward(emit: Emission<'_>, params: &PhmmParams, w: usize) -> BackwardResult {
+    let (n, m) = (emit.n(), emit.m());
     let mut t = DpTables::zeros(n, m);
-    t.m.set(n, m, 1.0);
-    t.x.set(n, m, 1.0);
-    t.y.set(n, m, 1.0);
-
-    let &PhmmParams {
-        t_mm,
-        t_mg,
-        t_gm,
-        t_gg,
-        q,
-        ..
-    } = params;
-
-    let emit_at = |i: usize, j: usize| -> f64 {
-        if i < n && j < m {
-            emit[i][j]
-        } else {
-            0.0
-        }
-    };
-    let get = |mat: &crate::matrix::Matrix, i: usize, j: usize| -> f64 {
-        if i <= n && j <= m {
-            mat.get(i, j)
-        } else {
-            0.0
-        }
-    };
-
-    for i in (1..=n).rev() {
-        for j in (1..=m).rev() {
-            if (i == n && j == m) || !in_band(i, j, lo, hi) {
-                continue;
-            }
-            let diag = emit_at(i, j);
-            let bm_diag = get(&t.m, i + 1, j + 1);
-            let bm = diag * t_mm * bm_diag + q * t_mg * (get(&t.x, i + 1, j) + get(&t.y, i, j + 1));
-            let bx = diag * t_gm * bm_diag + q * t_gg * get(&t.x, i + 1, j);
-            let by = diag * t_gm * bm_diag + q * t_gg * get(&t.y, i, j + 1);
-            t.m.set(i, j, bm);
-            t.x.set(i, j, bx);
-            t.y.set(i, j, by);
-        }
-    }
-
-    let total = emit[0][0] * params.t_mm * t.m.get(1, 1);
+    let band = Some(kernel::diagonal_bounds(n, m, w));
+    let total = kernel::backward_planes(
+        emit,
+        params,
+        t.m.as_mut_slice(),
+        t.x.as_mut_slice(),
+        t.y.as_mut_slice(),
+        band,
+    );
     BackwardResult { tables: t, total }
 }
 
@@ -131,12 +61,13 @@ pub fn banded_backward(emit: &[Vec<f64>], params: &PhmmParams, w: usize) -> Back
 mod tests {
     use super::*;
     use crate::backward::backward;
+    use crate::emission::EmissionTable;
     use crate::forward::forward;
     use crate::pwm::Pwm;
     use genome::alphabet::Base;
     use genome::read::SequencedRead;
 
-    fn emit_for(read_s: &str, genome_s: &str, params: &PhmmParams) -> Vec<Vec<f64>> {
+    fn emit_for(read_s: &str, genome_s: &str, params: &PhmmParams) -> EmissionTable {
         let r = SequencedRead::with_uniform_quality("r", read_s.parse().unwrap(), 30);
         let w: Vec<Option<Base>> = genome_s
             .bytes()
@@ -149,11 +80,11 @@ mod tests {
     fn wide_band_equals_full_dp() {
         let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.03);
         let emit = emit_for("ACGTACGTAC", "ACGTTCGTACGT", &params);
-        let full = forward(&emit, &params);
-        let banded = banded_forward(&emit, &params, 32);
+        let full = forward(emit.view(), &params);
+        let banded = banded_forward(emit.view(), &params, 32);
         assert!((full.total - banded.total).abs() <= 1e-14 * full.total);
-        let full_b = backward(&emit, &params);
-        let banded_b = banded_backward(&emit, &params, 32);
+        let full_b = backward(emit.view(), &params);
+        let banded_b = banded_backward(emit.view(), &params, 32);
         assert!((full_b.total - banded_b.total).abs() <= 1e-14 * full_b.total);
     }
 
@@ -161,10 +92,10 @@ mod tests {
     fn banded_is_lower_bound_and_converges() {
         let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.03);
         let emit = emit_for("ACGTACGTACGTACGT", "ACGTACGGACGTACGT", &params);
-        let full = forward(&emit, &params).total;
+        let full = forward(emit.view(), &params).total;
         let mut last = 0.0;
         for w in [0usize, 1, 2, 4, 8, 16] {
-            let b = banded_forward(&emit, &params, w).total;
+            let b = banded_forward(emit.view(), &params, w).total;
             assert!(
                 b <= full * (1.0 + 1e-12),
                 "band {w}: {b} exceeds full {full}"
@@ -181,8 +112,8 @@ mod tests {
         // everything.
         let params = PhmmParams::default();
         let emit = emit_for("ACGTACGTAC", "ACGTACGTAC", &params);
-        let full = forward(&emit, &params).total;
-        let banded = banded_forward(&emit, &params, 1).total;
+        let full = forward(emit.view(), &params).total;
+        let banded = banded_forward(emit.view(), &params, 1).total;
         assert!(banded / full > 0.999, "ratio {}", banded / full);
     }
 
@@ -191,8 +122,8 @@ mod tests {
         let params = PhmmParams::with_gap_rates(0.04, 0.6, 0.02);
         let emit = emit_for("ACGGTACTAC", "ACGTACGTACAC", &params);
         for w in [1usize, 2, 4] {
-            let f = banded_forward(&emit, &params, w).total;
-            let b = banded_backward(&emit, &params, w).total;
+            let f = banded_forward(emit.view(), &params, w).total;
+            let b = banded_backward(emit.view(), &params, w).total;
             assert!(
                 (f - b).abs() <= 1e-12 * f.max(1e-300),
                 "band {w}: fwd {f} vs bwd {b}"
@@ -205,7 +136,27 @@ mod tests {
         // Window much longer than read: the band must still reach (N, M).
         let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.03);
         let emit = emit_for("ACGT", "ACGTACGT", &params);
-        let banded = banded_forward(&emit, &params, 0);
+        let banded = banded_forward(emit.view(), &params, 0);
         assert!(banded.total > 0.0);
+    }
+
+    #[test]
+    fn full_band_matches_unbanded_bitwise() {
+        // A band covering the whole rectangle must be the *same* program:
+        // every cell identical to the last bit, not merely close.
+        let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.03);
+        let emit = emit_for("ACGGTACTAC", "ACGTACGTACAC", &params);
+        let full = forward(emit.view(), &params);
+        let banded = banded_forward(emit.view(), &params, 64);
+        assert_eq!(full.total.to_bits(), banded.total.to_bits());
+        for i in 0..=emit.n() {
+            for j in 0..=emit.m() {
+                assert_eq!(
+                    full.tables.m.get(i, j).to_bits(),
+                    banded.tables.m.get(i, j).to_bits(),
+                    "cell ({i},{j})"
+                );
+            }
+        }
     }
 }

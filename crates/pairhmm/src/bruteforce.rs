@@ -12,6 +12,7 @@
 //! pays its transition probability times its emission (`p*` in `M`, `q` in
 //! a gap state), and the path ends upon reaching `(N, M)` in any state.
 
+use crate::emission::Emission;
 use crate::params::PhmmParams;
 
 /// Marginal accumulators produced by enumeration.
@@ -37,9 +38,9 @@ enum State {
 
 /// Enumerate every alignment of an `n × m` emission table. Exponential in
 /// `n + m`: keep both below ~8.
-pub fn enumerate(emit: &[Vec<f64>], params: &PhmmParams) -> BruteForceResult {
-    let n = emit.len();
-    let m = emit[0].len();
+pub fn enumerate(emit: Emission<'_>, params: &PhmmParams) -> BruteForceResult {
+    let n = emit.n();
+    let m = emit.m();
     assert!(n >= 1 && m >= 1);
     assert!(n + m <= 16, "brute force is exponential; keep n + m small");
 
@@ -55,7 +56,7 @@ pub fn enumerate(emit: &[Vec<f64>], params: &PhmmParams) -> BruteForceResult {
     let mut visited: Vec<(usize, usize, State)> = Vec::new();
 
     // Start: M at (1, 1).
-    let p0 = params.t_mm * emit[0][0];
+    let p0 = params.t_mm * emit.at(0, 0);
     if p0 > 0.0 {
         visited.push((1, 1, State::M));
         extend(1, 1, State::M, p0, emit, params, &mut visited, &mut res);
@@ -70,13 +71,13 @@ fn extend(
     j: usize,
     state: State,
     prob: f64,
-    emit: &[Vec<f64>],
+    emit: Emission<'_>,
     params: &PhmmParams,
     visited: &mut Vec<(usize, usize, State)>,
     res: &mut BruteForceResult,
 ) {
-    let n = emit.len();
-    let m = emit[0].len();
+    let n = emit.n();
+    let m = emit.m();
     if i == n && j == m {
         // Path complete: credit its probability to every visited cell.
         res.total += prob;
@@ -103,7 +104,7 @@ fn extend(
 
     // Move to M(i+1, j+1).
     if i < n && j < m {
-        let p = prob * trans(state, State::M) * emit[i][j]; // emit[i][j] = p*(i+1, j+1)
+        let p = prob * trans(state, State::M) * emit.at(i, j); // emit.at(i, j) = p*(i+1, j+1)
         if p > 0.0 {
             visited.push((i + 1, j + 1, State::M));
             extend(i + 1, j + 1, State::M, p, emit, params, visited, res);
@@ -134,16 +135,13 @@ fn extend(
 mod tests {
     use super::*;
     use crate::backward::backward;
+    use crate::emission::EmissionTable;
     use crate::forward::forward;
 
-    fn varied_emit(n: usize, m: usize, seed: usize) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|i| {
-                (0..m)
-                    .map(|j| 0.1 + 0.85 * (((i * 37 + j * 23 + seed) % 11) as f64 / 11.0))
-                    .collect()
-            })
-            .collect()
+    fn varied_emit(n: usize, m: usize, seed: usize) -> EmissionTable {
+        EmissionTable::from_fn(n, m, |i, j| {
+            0.1 + 0.85 * (((i * 37 + j * 23 + seed) % 11) as f64 / 11.0)
+        })
     }
 
     #[test]
@@ -158,8 +156,8 @@ mod tests {
             (6, 4, 5),
         ] {
             let emit = varied_emit(n, m, seed);
-            let oracle = enumerate(&emit, &params);
-            let f = forward(&emit, &params);
+            let oracle = enumerate(emit.view(), &params);
+            let f = forward(emit.view(), &params);
             assert!(
                 (oracle.total - f.total).abs() <= 1e-13 * oracle.total.max(1e-300),
                 "{n}x{m}: oracle {} vs forward {}",
@@ -174,9 +172,9 @@ mod tests {
         let params = PhmmParams::with_gap_rates(0.08, 0.5, 0.05);
         for (n, m, seed) in [(2, 3, 7), (3, 3, 8), (4, 4, 9), (5, 3, 10)] {
             let emit = varied_emit(n, m, seed);
-            let oracle = enumerate(&emit, &params);
-            let f = forward(&emit, &params);
-            let b = backward(&emit, &params);
+            let oracle = enumerate(emit.view(), &params);
+            let f = forward(emit.view(), &params);
+            let b = backward(emit.view(), &params);
             for i in 1..=n {
                 for j in 1..=m {
                     let fb_match = f.tables.m.get(i, j) * b.tables.m.get(i, j);
@@ -203,8 +201,8 @@ mod tests {
     #[test]
     fn single_cell_has_one_path() {
         let params = PhmmParams::default();
-        let emit = vec![vec![0.7]];
-        let oracle = enumerate(&emit, &params);
+        let emit = EmissionTable::from_rows(&[vec![0.7]]);
+        let oracle = enumerate(emit.view(), &params);
         assert!((oracle.total - params.t_mm * 0.7).abs() < 1e-15);
         assert!((oracle.match_mass[1][1] - oracle.total).abs() < 1e-15);
     }
@@ -212,7 +210,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn refuses_large_instances() {
-        let emit = vec![vec![0.5; 10]; 10];
-        let _ = enumerate(&emit, &PhmmParams::default());
+        let emit = EmissionTable::from_fn(10, 10, |_, _| 0.5);
+        let _ = enumerate(emit.view(), &PhmmParams::default());
     }
 }

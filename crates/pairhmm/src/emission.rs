@@ -1,0 +1,199 @@
+//! Flat row-major emission storage.
+//!
+//! The blended emission `p*(i, j)` used to be materialised as a
+//! `Vec<Vec<f64>>` — one heap allocation per read row, pointer-chasing in
+//! every DP inner loop. The kernels now consume an [`Emission`] view: a
+//! single contiguous `&[f64]` plus the row stride, cheap to copy and
+//! trivially prefetchable. [`EmissionTable`] is the owning variant; scratch
+//! arenas ([`crate::scratch::PhmmScratch`]) reuse one flat buffer across a
+//! whole read batch and borrow views from it.
+
+/// Owning flat `N × M` emission table (`data[i·m + j] = p*(i+1, j+1)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmissionTable {
+    n: usize,
+    m: usize,
+    data: Vec<f64>,
+}
+
+impl EmissionTable {
+    /// Zero-filled `n × m` table.
+    pub fn zeros(n: usize, m: usize) -> EmissionTable {
+        EmissionTable {
+            n,
+            m,
+            data: vec![0.0; n * m],
+        }
+    }
+
+    /// Build from nested rows (test/oracle convenience). Panics when rows
+    /// are ragged or empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> EmissionTable {
+        assert!(!rows.is_empty(), "read must be non-empty");
+        let m = rows[0].len();
+        assert!(m >= 1, "window must be non-empty");
+        assert!(
+            rows.iter().all(|r| r.len() == m),
+            "emission rows must have equal length"
+        );
+        let mut data = Vec::with_capacity(rows.len() * m);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        EmissionTable {
+            n: rows.len(),
+            m,
+            data,
+        }
+    }
+
+    /// Wrap an already-flat row-major buffer (`data.len()` must be
+    /// `n · m`).
+    pub fn from_flat(data: Vec<f64>, n: usize, m: usize) -> EmissionTable {
+        assert_eq!(data.len(), n * m, "emission buffer/shape mismatch");
+        EmissionTable { n, m, data }
+    }
+
+    /// Build by filling each cell from `f(i, j)` (0-based).
+    pub fn from_fn(n: usize, m: usize, mut f: impl FnMut(usize, usize) -> f64) -> EmissionTable {
+        let mut t = EmissionTable::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                t.data[i * m + j] = f(i, j);
+            }
+        }
+        t
+    }
+
+    /// Read length `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Window length `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Element access, 0-based.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.m + j]
+    }
+
+    /// Mutable element access, 0-based.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.m + j]
+    }
+
+    /// Borrow as a flat view for the kernels.
+    #[inline]
+    pub fn view(&self) -> Emission<'_> {
+        Emission {
+            n: self.n,
+            m: self.m,
+            data: &self.data,
+        }
+    }
+}
+
+/// Borrowed flat emission view: `&[f64]` of length `n·m` with row stride
+/// `m`. All DP kernels take this — copyable, no per-row indirection.
+#[derive(Debug, Clone, Copy)]
+pub struct Emission<'a> {
+    n: usize,
+    m: usize,
+    data: &'a [f64],
+}
+
+impl<'a> Emission<'a> {
+    /// Wrap a flat slice; `data.len()` must equal `n · m`.
+    #[inline]
+    pub fn new(data: &'a [f64], n: usize, m: usize) -> Emission<'a> {
+        assert_eq!(data.len(), n * m, "emission slice/shape mismatch");
+        Emission { n, m, data }
+    }
+
+    /// Read length `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Window length `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The full flat slice.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Row `i` (0-based read position), length `m`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Element access, 0-based: `at(i, j) = p*(i+1, j+1)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.m + j]
+    }
+
+    /// `p*(i, j)` in 1-based paper indexing with the out-of-range
+    /// convention `p* = 0` (used by the backward recursions, which read
+    /// one diagonal past the terminal cell).
+    #[inline]
+    pub fn paper_at(&self, i: usize, j: usize) -> f64 {
+        if i >= 1 && i <= self.n && j >= 1 && j <= self.m {
+            self.data[(i - 1) * self.m + (j - 1)]
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trip() {
+        let t = EmissionTable::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(t.n(), 2);
+        assert_eq!(t.m(), 3);
+        assert_eq!(t.at(1, 2), 6.0);
+        let v = t.view();
+        assert_eq!(v.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(v.at(1, 0), 4.0);
+        assert_eq!(v.paper_at(2, 3), 6.0);
+        assert_eq!(v.paper_at(3, 1), 0.0);
+        assert_eq!(v.paper_at(1, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_rejected() {
+        let _ = EmissionTable::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        let _ = EmissionTable::from_rows(&[]);
+    }
+
+    #[test]
+    fn from_fn_fills() {
+        let t = EmissionTable::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(t.at(0, 1), 1.0);
+        assert_eq!(t.at(1, 0), 10.0);
+    }
+}

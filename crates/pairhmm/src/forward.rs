@@ -16,7 +16,14 @@
 //! f_GX(i,j) = q·[T_MG·f_M(i−1,j) + T_GG·f_GX(i−1,j)]
 //! f_GY(i,j) = q·[T_MG·f_M(i,j−1) + T_GG·f_GY(i,j−1)]
 //! ```
+//!
+//! The cell arithmetic lives in [`crate::kernel::forward_planes`], which
+//! fills flat row-major planes with a vectorizable two-sweep row schedule;
+//! this module wraps it in the materialised-[`DpTables`] API used by
+//! marginals, tests, and the conformance oracles.
 
+use crate::emission::Emission;
+use crate::kernel;
 use crate::matrix::Matrix;
 use crate::params::PhmmParams;
 
@@ -52,51 +59,29 @@ pub struct ForwardResult {
     pub total: f64,
 }
 
-/// Run the forward algorithm over a precomputed emission table
-/// `emit[i-1][j-1] = p*(i, j)` (shape `N × M`, both ≥ 1).
-pub fn forward(emit: &[Vec<f64>], params: &PhmmParams) -> ForwardResult {
-    let n = emit.len();
-    assert!(n >= 1, "read must be non-empty");
-    let m = emit[0].len();
-    assert!(m >= 1, "window must be non-empty");
-    debug_assert!(emit.iter().all(|r| r.len() == m));
-
+/// Run the forward algorithm over a precomputed flat emission view
+/// `emit.at(i-1, j-1) = p*(i, j)` (shape `N × M`, both ≥ 1).
+pub fn forward(emit: Emission<'_>, params: &PhmmParams) -> ForwardResult {
+    let (n, m) = (emit.n(), emit.m());
     let mut t = DpTables::zeros(n, m);
-    t.m.set(0, 0, 1.0);
-
-    let &PhmmParams {
-        t_mm,
-        t_mg,
-        t_gm,
-        t_gg,
-        q,
-        ..
-    } = params;
-
-    for i in 1..=n {
-        let emit_row = &emit[i - 1];
-        for j in 1..=m {
-            let fm = emit_row[j - 1]
-                * (t_mm * t.m.get(i - 1, j - 1)
-                    + t_gm * (t.x.get(i - 1, j - 1) + t.y.get(i - 1, j - 1)));
-            let fx = q * (t_mg * t.m.get(i - 1, j) + t_gg * t.x.get(i - 1, j));
-            let fy = q * (t_mg * t.m.get(i, j - 1) + t_gg * t.y.get(i, j - 1));
-            t.m.set(i, j, fm);
-            t.x.set(i, j, fx);
-            t.y.set(i, j, fy);
-        }
-    }
-
-    let total = t.m.get(n, m) + t.x.get(n, m) + t.y.get(n, m);
+    let total = kernel::forward_planes(
+        emit,
+        params,
+        t.m.as_mut_slice(),
+        t.x.as_mut_slice(),
+        t.y.as_mut_slice(),
+        None,
+    );
     ForwardResult { tables: t, total }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emission::EmissionTable;
 
-    fn uniform_emit(n: usize, m: usize, p: f64) -> Vec<Vec<f64>> {
-        vec![vec![p; m]; n]
+    fn uniform_emit(n: usize, m: usize, p: f64) -> EmissionTable {
+        EmissionTable::from_fn(n, m, |_, _| p)
     }
 
     #[test]
@@ -105,7 +90,7 @@ mod tests {
         // start → M(1,1), probability p*·T_MM.
         let params = PhmmParams::default();
         let emit = uniform_emit(1, 1, 0.9);
-        let f = forward(&emit, &params);
+        let f = forward(emit.view(), &params);
         assert!((f.total - 0.9 * params.t_mm).abs() < 1e-15);
     }
 
@@ -114,7 +99,7 @@ mod tests {
         // Two read bases, one genome base: M(1,1) then G_X(2,1).
         let params = PhmmParams::default();
         let emit = uniform_emit(2, 1, 0.8);
-        let f = forward(&emit, &params);
+        let f = forward(emit.view(), &params);
         let expected = 0.8 * params.t_mm * params.q * params.t_mg;
         assert!((f.total - expected).abs() < 1e-15);
         assert_eq!(f.tables.m.get(2, 1), 0.0); // no way to end in M here
@@ -129,7 +114,7 @@ mod tests {
         let params = PhmmParams::default();
         let n = 5;
         let emit = uniform_emit(n, n, 0.95);
-        let f = forward(&emit, &params);
+        let f = forward(emit.view(), &params);
         let diag = 0.95f64.powi(n as i32) * params.t_mm.powi(n as i32);
         assert!(f.total >= diag);
         // And the total can't exceed 1 for a proper model.
@@ -139,21 +124,22 @@ mod tests {
     #[test]
     fn higher_emission_higher_likelihood() {
         let params = PhmmParams::default();
-        let lo = forward(&uniform_emit(4, 4, 0.5), &params).total;
-        let hi = forward(&uniform_emit(4, 4, 0.9), &params).total;
+        let lo = forward(uniform_emit(4, 4, 0.5).view(), &params).total;
+        let hi = forward(uniform_emit(4, 4, 0.9).view(), &params).total;
         assert!(hi > lo);
     }
 
     #[test]
     fn zero_emission_kills_everything() {
         let params = PhmmParams::default();
-        let f = forward(&uniform_emit(3, 3, 0.0), &params);
+        let f = forward(uniform_emit(3, 3, 0.0).view(), &params);
         assert_eq!(f.total, 0.0);
     }
 
     #[test]
     #[should_panic]
     fn empty_read_rejected() {
-        let _ = forward(&[], &PhmmParams::default());
+        let empty = EmissionTable::zeros(0, 3);
+        let _ = forward(empty.view(), &PhmmParams::default());
     }
 }

@@ -15,6 +15,13 @@
 //!   `T_GM`, `T_GG`, match emission matrix `p_ab`, gap emission `q`).
 //! * [`pwm`]      — position-weight matrix built from read qualities
 //!   (`r_ik` in the paper), and the blended emission `p*(i, j)`.
+//! * [`emission`] — flat row-major emission storage ([`EmissionTable`] /
+//!   borrowed [`Emission`] view) consumed by every kernel.
+//! * [`kernel`]   — the flat-plane, vectorization-structured forward and
+//!   backward recursions (full-table and banded via one `Band` parameter).
+//! * [`scratch`]  — [`PhmmScratch`], the per-thread reusable arena with
+//!   the fused backward+marginal streaming pass (zero steady-state
+//!   allocations).
 //! * [`matrix`]   — dense `f64` DP matrices.
 //! * [`mod@forward`] / [`mod@backward`] — the dynamic programs of Section VI Step 2.
 //! * [`marginal`] — posterior cell probabilities and per-column `z` vectors.
@@ -40,19 +47,24 @@
 pub mod backward;
 pub mod banded;
 pub mod bruteforce;
+pub mod emission;
 pub mod forward;
+pub mod kernel;
 pub mod logspace;
 pub mod marginal;
 pub mod matrix;
 pub mod params;
 pub mod pwm;
 pub mod scaling;
+pub mod scratch;
 pub mod viterbi;
 
 pub use backward::backward;
+pub use emission::{Emission, EmissionTable};
 pub use forward::forward;
 pub use marginal::{ColumnPosterior, PosteriorAlignment};
 pub use matrix::Matrix;
 pub use params::PhmmParams;
 pub use pwm::Pwm;
+pub use scratch::PhmmScratch;
 pub use viterbi::{viterbi, AlignOp, Alignment};

@@ -8,6 +8,7 @@
 //! cross-check of the other two implementations (they share no numeric
 //! code paths).
 
+use crate::emission::Emission;
 use crate::matrix::Matrix;
 use crate::params::PhmmParams;
 
@@ -53,11 +54,11 @@ fn neg_inf_matrix(rows: usize, cols: usize) -> Matrix {
     m
 }
 
-/// Log-space forward pass over `emit[i-1][j-1] = p*(i, j)`.
-pub fn log_forward(emit: &[Vec<f64>], params: &PhmmParams) -> LogForwardResult {
-    let n = emit.len();
+/// Log-space forward pass over `emit.at(i-1, j-1) = p*(i, j)`.
+pub fn log_forward(emit: Emission<'_>, params: &PhmmParams) -> LogForwardResult {
+    let n = emit.n();
     assert!(n >= 1, "read must be non-empty");
-    let m_len = emit[0].len();
+    let m_len = emit.m();
     assert!(m_len >= 1, "window must be non-empty");
 
     let ln = |v: f64| if v > 0.0 { v.ln() } else { f64::NEG_INFINITY };
@@ -76,7 +77,7 @@ pub fn log_forward(emit: &[Vec<f64>], params: &PhmmParams) -> LogForwardResult {
 
     for i in 1..=n {
         for j in 1..=m_len {
-            let le = ln(emit[i - 1][j - 1]);
+            let le = ln(emit.at(i - 1, j - 1));
             let diag = log_add3(
                 lt_mm + fm.get(i - 1, j - 1),
                 lt_gm + fx.get(i - 1, j - 1),
@@ -108,17 +109,14 @@ pub fn log_forward(emit: &[Vec<f64>], params: &PhmmParams) -> LogForwardResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emission::EmissionTable;
     use crate::forward::forward;
     use crate::scaling::scaled_forward;
 
-    fn varied_emit(n: usize, m: usize) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|i| {
-                (0..m)
-                    .map(|j| 0.1 + 0.85 * (((i * 41 + j * 19 + 5) % 23) as f64 / 23.0))
-                    .collect()
-            })
-            .collect()
+    fn varied_emit(n: usize, m: usize) -> EmissionTable {
+        EmissionTable::from_fn(n, m, |i, j| {
+            0.1 + 0.85 * (((i * 41 + j * 19 + 5) % 23) as f64 / 23.0)
+        })
     }
 
     #[test]
@@ -140,8 +138,8 @@ mod tests {
         let params = PhmmParams::with_gap_rates(0.05, 0.55, 0.03);
         for (n, m) in [(1, 1), (3, 4), (10, 10), (25, 27), (62, 62)] {
             let emit = varied_emit(n, m);
-            let linear = forward(&emit, &params).total;
-            let logspace = log_forward(&emit, &params).log_total;
+            let linear = forward(emit.view(), &params).total;
+            let logspace = log_forward(emit.view(), &params).log_total;
             assert!(
                 (logspace - linear.ln()).abs() < 1e-9,
                 "{n}x{m}: log {logspace} vs ln(linear) {}",
@@ -153,9 +151,9 @@ mod tests {
     #[test]
     fn matches_scaled_forward_far_below_underflow() {
         let params = PhmmParams::default();
-        let emit = vec![vec![1e-250; 30]; 30];
-        let logspace = log_forward(&emit, &params).log_total;
-        let scaled = scaled_forward(&emit, &params).log_total;
+        let emit = EmissionTable::from_fn(30, 30, |_, _| 1e-250);
+        let logspace = log_forward(emit.view(), &params).log_total;
+        let scaled = scaled_forward(emit.view(), &params).log_total;
         assert!(logspace.is_finite());
         assert!(
             (logspace - scaled).abs() < 1e-6 * scaled.abs(),
@@ -167,8 +165,8 @@ mod tests {
     fn per_cell_values_match_linear_space() {
         let params = PhmmParams::with_gap_rates(0.08, 0.5, 0.04);
         let emit = varied_emit(6, 7);
-        let linear = forward(&emit, &params);
-        let logspace = log_forward(&emit, &params);
+        let linear = forward(emit.view(), &params);
+        let logspace = log_forward(emit.view(), &params);
         for i in 1..=6 {
             for j in 1..=7 {
                 for (lin_m, log_m) in [
@@ -195,7 +193,10 @@ mod tests {
     #[test]
     fn zero_emissions_give_neg_infinity() {
         let params = PhmmParams::default();
-        let emit = vec![vec![0.0; 3]; 3];
-        assert_eq!(log_forward(&emit, &params).log_total, f64::NEG_INFINITY);
+        let emit = EmissionTable::zeros(3, 3);
+        assert_eq!(
+            log_forward(emit.view(), &params).log_total,
+            f64::NEG_INFINITY
+        );
     }
 }

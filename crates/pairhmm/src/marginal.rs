@@ -25,6 +25,7 @@
 //! `{i : x_i = k}`).
 
 use crate::backward::{backward, BackwardResult};
+use crate::emission::Emission;
 use crate::forward::{forward, ForwardResult};
 use crate::params::PhmmParams;
 use crate::pwm::Pwm;
@@ -57,10 +58,9 @@ pub struct PosteriorAlignment {
 }
 
 impl PosteriorAlignment {
-    /// Run forward and backward over a precomputed emission table.
-    pub fn from_emissions(emit: &[Vec<f64>], params: &PhmmParams) -> PosteriorAlignment {
-        let n = emit.len();
-        let m = emit.first().map_or(0, Vec::len);
+    /// Run forward and backward over a precomputed emission view.
+    pub fn from_emissions(emit: Emission<'_>, params: &PhmmParams) -> PosteriorAlignment {
+        let (n, m) = (emit.n(), emit.m());
         let fwd = forward(emit, params);
         let bwd = backward(emit, params);
         PosteriorAlignment { fwd, bwd, n, m }
@@ -70,12 +70,11 @@ impl PosteriorAlignment {
     /// of half-width `w` (see [`crate::banded`]). Posteriors outside the
     /// band are zero; within it they are exact for the banded model.
     pub fn from_emissions_banded(
-        emit: &[Vec<f64>],
+        emit: Emission<'_>,
         params: &PhmmParams,
         w: usize,
     ) -> PosteriorAlignment {
-        let n = emit.len();
-        let m = emit.first().map_or(0, Vec::len);
+        let (n, m) = (emit.n(), emit.m());
         let fwd = crate::banded::banded_forward(emit, params, w);
         let bwd = crate::banded::banded_backward(emit, params, w);
         PosteriorAlignment { fwd, bwd, n, m }
@@ -89,7 +88,7 @@ impl PosteriorAlignment {
         params: &PhmmParams,
     ) -> PosteriorAlignment {
         let emit = pwm.emission_table(window, params);
-        PosteriorAlignment::from_emissions(&emit, params)
+        PosteriorAlignment::from_emissions(emit.view(), params)
     }
 
     /// Read length `N`.
@@ -145,7 +144,10 @@ impl PosteriorAlignment {
         if self.fwd.total == 0.0 {
             return cols;
         }
-        for i in 1..=self.n {
+        // Rows are folded in descending i — the canonical summation order,
+        // shared bit-for-bit with the fused streaming pass in
+        // [`crate::scratch`], which generates backward rows bottom-up.
+        for i in (1..=self.n).rev() {
             let r = pwm.row(i - 1);
             for (j, col) in cols.iter_mut().enumerate() {
                 let pm = self.match_posterior(i, j + 1);
@@ -271,8 +273,8 @@ mod tests {
     fn unalignable_pair_contributes_nothing() {
         // Zero-probability pair via impossible emissions.
         let params = PhmmParams::default();
-        let emit = vec![vec![0.0; 3]; 3];
-        let post = PosteriorAlignment::from_emissions(&emit, &params);
+        let emit = crate::emission::EmissionTable::zeros(3, 3);
+        let post = PosteriorAlignment::from_emissions(emit.view(), &params);
         assert_eq!(post.total(), 0.0);
         let pwm = Pwm::certain(&[Base::A, Base::A, Base::A]);
         let cols = post.column_posteriors(&pwm);

@@ -71,6 +71,19 @@ impl Matrix {
     pub fn sum(&self) -> f64 {
         self.data.iter().sum()
     }
+
+    /// The backing storage as one flat row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat access (lets the flat-plane kernels fill a `Matrix`
+    /// in place).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
 }
 
 #[cfg(test)]

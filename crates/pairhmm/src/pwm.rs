@@ -11,6 +11,7 @@
 //! i.e. the read base is integrated out against its quality-derived
 //! distribution. A genome `N` is treated as a uniformly uncertain base.
 
+use crate::emission::EmissionTable;
 use crate::params::PhmmParams;
 use genome::alphabet::Base;
 use genome::read::SequencedRead;
@@ -93,17 +94,43 @@ impl Pwm {
         }
     }
 
+    /// Fill a caller-owned flat buffer with `p*(i, j)` for all read
+    /// positions against a genome window (row-major, stride = window
+    /// length). Clears and refills `out`; when `out`'s capacity already
+    /// suffices this performs no allocation — the scratch-arena hot path.
+    ///
+    /// The blend against each of the four concrete genome bases is
+    /// precomputed once per read row (the inner `k` sum is in the same
+    /// ascending order as [`blended_emission`](Self::blended_emission), so
+    /// the values are bit-identical), then the window is a pure table
+    /// lookup.
+    pub fn fill_emission(&self, window: &[Option<Base>], params: &PhmmParams, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len() * window.len());
+        for r in &self.rows {
+            let mut blend = [0.0f64; 4];
+            for (yi, b) in blend.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &rk) in r.iter().enumerate() {
+                    acc += rk * params.emission(k, yi);
+                }
+                *b = acc;
+            }
+            out.extend(window.iter().map(|&y| match y {
+                Some(y) => blend[y.index()],
+                // Against an unknown genome base every read base is
+                // equally compatible; rows sum to 1, so the blend is 1/4.
+                None => 0.25,
+            }));
+        }
+    }
+
     /// Precompute `p*(i, j)` for all read positions against a genome
-    /// window, returned row-major `[i][j]`.
-    pub fn emission_table(&self, window: &[Option<Base>], params: &PhmmParams) -> Vec<Vec<f64>> {
-        (0..self.len())
-            .map(|i| {
-                window
-                    .iter()
-                    .map(|&y| self.blended_emission(i, y, params))
-                    .collect()
-            })
-            .collect()
+    /// window as an owned flat table.
+    pub fn emission_table(&self, window: &[Option<Base>], params: &PhmmParams) -> EmissionTable {
+        let mut data = Vec::new();
+        self.fill_emission(window, params, &mut data);
+        EmissionTable::from_flat(data, self.len(), window.len())
     }
 }
 
@@ -156,13 +183,37 @@ mod tests {
         let pwm = Pwm::certain(&[Base::A, Base::C, Base::G]);
         let window = [Some(Base::A), None, Some(Base::T), Some(Base::G)];
         let t = pwm.emission_table(&window, &p);
-        assert_eq!(t.len(), 3);
-        assert_eq!(t[0].len(), 4);
-        assert_eq!(t[1][1], 0.25);
+        assert_eq!(t.n(), 3);
+        assert_eq!(t.m(), 4);
+        assert_eq!(t.at(1, 1), 0.25);
         // Read position 2 is a certain G, window position 3 is G: match.
-        assert!((t[2][3] - p.emission(2, 2)).abs() < 1e-15);
+        assert!((t.at(2, 3) - p.emission(2, 2)).abs() < 1e-15);
         // Read position 2 (G) vs window position 2 (T): mismatch.
-        assert!((t[2][2] - p.emission(2, 3)).abs() < 1e-15);
+        assert!((t.at(2, 2) - p.emission(2, 3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fill_emission_matches_blended_emission() {
+        let p = PhmmParams::default();
+        let read = SequencedRead::new("r", "ACGT".parse().unwrap(), vec![38, 12, 25, 7]).unwrap();
+        let pwm = Pwm::from_read(&read);
+        let window = [
+            Some(Base::T),
+            None,
+            Some(Base::A),
+            Some(Base::G),
+            Some(Base::C),
+        ];
+        let t = pwm.emission_table(&window, &p);
+        for i in 0..pwm.len() {
+            for (j, &y) in window.iter().enumerate() {
+                assert_eq!(
+                    t.at(i, j).to_bits(),
+                    pwm.blended_emission(i, y, &p).to_bits(),
+                    "cell ({i},{j})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! pathologically small emissions) underflow. The scaled variant
 //! renormalises each completed row to a maximum of 1 and accumulates the
 //! log of the scale factors, returning `log P(x, y)` directly.
+//!
+//! The row arithmetic is [`crate::kernel::forward_row`] — the same
+//! two-sweep vectorizable schedule as the plain forward — with the
+//! renormalisation hook applied between rows. [`scaled_forward_into`] is
+//! the allocation-free entry used by [`crate::scratch::PhmmScratch`];
+//! [`scaled_forward`] is the self-contained convenience wrapper.
 
-use crate::forward::DpTables;
+use crate::emission::Emission;
+use crate::kernel;
 use crate::params::PhmmParams;
 
 /// Result of the scaled forward pass.
@@ -17,82 +24,103 @@ pub struct ScaledForwardResult {
     pub log_total: f64,
 }
 
-/// Scaled forward algorithm returning the log-likelihood of the pair.
-pub fn scaled_forward(emit: &[Vec<f64>], params: &PhmmParams) -> ScaledForwardResult {
-    let n = emit.len();
+/// Scaled forward algorithm over caller-provided flat planes (each at
+/// least `(n+1)·(m+1)` long, may hold stale data) and a per-row log-scale
+/// buffer (at least `n + 1` long). Returns `ln P(x, y)`.
+pub fn scaled_forward_into(
+    emit: Emission<'_>,
+    params: &PhmmParams,
+    fm: &mut [f64],
+    fx: &mut [f64],
+    fy: &mut [f64],
+    log_scale: &mut [f64],
+) -> f64 {
+    let (n, m) = (emit.n(), emit.m());
     assert!(n >= 1, "read must be non-empty");
-    let m = emit[0].len();
     assert!(m >= 1, "window must be non-empty");
+    let stride = m + 1;
+    assert!(
+        fm.len() >= (n + 1) * stride
+            && fx.len() >= (n + 1) * stride
+            && fy.len() >= (n + 1) * stride,
+        "planes too small for {n}x{m}"
+    );
+    assert!(log_scale.len() > n, "log-scale buffer too small");
 
-    let mut t = DpTables::zeros(n, m);
-    t.m.set(0, 0, 1.0);
-    // log of the product of scale factors applied to rows 0..=i.
-    let mut log_scale = vec![0.0f64; n + 1];
-
-    let &PhmmParams {
-        t_mm,
-        t_mg,
-        t_gm,
-        t_gg,
-        q,
-        ..
-    } = params;
+    // Border row 0: f_M(0,0) = 1, zero elsewhere; no scaling applied yet.
+    for p in [&mut *fm, &mut *fx, &mut *fy] {
+        p[..=m].fill(0.0);
+    }
+    fm[0] = 1.0;
+    log_scale[0] = 0.0;
 
     for i in 1..=n {
-        for j in 1..=m {
-            // Row i-1 has been rescaled by exp(log_scale[i-1] - true); the
-            // recursion is homogeneous of degree 1 in the previous row and
-            // current row, so the relative values stay correct. The G_Y
-            // term references the *current* row (i, j-1), already at this
-            // row's scale: both scales agree once the row is normalised,
-            // because f_Y(i, j) only feeds from row i and row i-1 values.
-            let fm = emit[i - 1][j - 1]
-                * (t_mm * t.m.get(i - 1, j - 1)
-                    + t_gm * (t.x.get(i - 1, j - 1) + t.y.get(i - 1, j - 1)));
-            let fx = q * (t_mg * t.m.get(i - 1, j) + t_gg * t.x.get(i - 1, j));
-            let fy = q * (t_mg * t.m.get(i, j - 1) + t_gg * t.y.get(i, j - 1));
-            t.m.set(i, j, fm);
-            t.x.set(i, j, fx);
-            t.y.set(i, j, fy);
-        }
+        let base = (i - 1) * stride;
+        let (mp, mc) = fm[base..base + 2 * stride].split_at_mut(stride);
+        let (xp, xc) = fx[base..base + 2 * stride].split_at_mut(stride);
+        let (yp, yc) = fy[base..base + 2 * stride].split_at_mut(stride);
+        // Row i-1 has been rescaled by exp(log_scale[i-1] - true); the
+        // recursion is homogeneous of degree 1 in the previous row and
+        // current row, so the relative values stay correct. The G_Y term
+        // references the *current* row (i, j-1), already at this row's
+        // scale: both scales agree once the row is normalised, because
+        // f_Y(i, j) only feeds from row i and row i-1 values.
+        kernel::forward_row(params, emit.row(i - 1), mp, xp, yp, mc, xc, yc, 1, m, m);
+
         // Renormalise the completed row across all three states.
-        let row_max = t.m.row_max(i).max(t.x.row_max(i)).max(t.y.row_max(i));
+        let row_max = mc
+            .iter()
+            .chain(xc.iter())
+            .chain(yc.iter())
+            .copied()
+            .fold(0.0, f64::max);
         if row_max > 0.0 {
             let inv = 1.0 / row_max;
-            t.m.scale_row(i, inv);
-            t.x.scale_row(i, inv);
-            t.y.scale_row(i, inv);
+            for row in [mc, xc, yc] {
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
             log_scale[i] = log_scale[i - 1] + row_max.ln();
         } else {
             // Entire row is zero: the pair is unalignable.
-            return ScaledForwardResult {
-                log_total: f64::NEG_INFINITY,
-            };
+            return f64::NEG_INFINITY;
         }
     }
 
-    let terminal = t.m.get(n, m) + t.x.get(n, m) + t.y.get(n, m);
-    let log_total = if terminal > 0.0 {
+    let end = n * stride + m;
+    let terminal = fm[end] + fx[end] + fy[end];
+    if terminal > 0.0 {
         terminal.ln() + log_scale[n]
     } else {
         f64::NEG_INFINITY
-    };
+    }
+}
+
+/// Scaled forward algorithm returning the log-likelihood of the pair.
+pub fn scaled_forward(emit: Emission<'_>, params: &PhmmParams) -> ScaledForwardResult {
+    let (n, m) = (emit.n(), emit.m());
+    assert!(n >= 1, "read must be non-empty");
+    assert!(m >= 1, "window must be non-empty");
+    let plane = (n + 1) * (m + 1);
+    let mut fm = vec![0.0; plane];
+    let mut fx = vec![0.0; plane];
+    let mut fy = vec![0.0; plane];
+    let mut log_scale = vec![0.0; n + 1];
+    let log_total = scaled_forward_into(emit, params, &mut fm, &mut fx, &mut fy, &mut log_scale);
     ScaledForwardResult { log_total }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emission::EmissionTable;
     use crate::forward::forward;
 
-    fn varied_emit(n: usize, m: usize) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|i| {
-                (0..m)
-                    .map(|j| 0.2 + 0.75 * (((i * 29 + j * 13 + 3) % 17) as f64 / 17.0))
-                    .collect()
-            })
-            .collect()
+    fn varied_emit(n: usize, m: usize) -> EmissionTable {
+        EmissionTable::from_fn(n, m, |i, j| {
+            0.2 + 0.75 * (((i * 29 + j * 13 + 3) % 17) as f64 / 17.0)
+        })
     }
 
     #[test]
@@ -100,8 +128,8 @@ mod tests {
         let params = PhmmParams::with_gap_rates(0.04, 0.55, 0.03);
         for (n, m) in [(1, 1), (3, 4), (10, 10), (25, 27), (60, 62)] {
             let emit = varied_emit(n, m);
-            let plain = forward(&emit, &params).total;
-            let scaled = scaled_forward(&emit, &params).log_total;
+            let plain = forward(emit.view(), &params).total;
+            let scaled = scaled_forward(emit.view(), &params).log_total;
             assert!(
                 (scaled - plain.ln()).abs() < 1e-9,
                 "{n}x{m}: scaled {scaled} vs ln(plain) {}",
@@ -117,10 +145,10 @@ mod tests {
         // underflows to exactly 0 while the scaled version still reports a
         // finite log-likelihood.
         let params = PhmmParams::default();
-        let emit = vec![vec![1e-250; 40]; 40];
-        let plain = forward(&emit, &params).total;
+        let emit = EmissionTable::from_fn(40, 40, |_, _| 1e-250);
+        let plain = forward(emit.view(), &params).total;
         assert_eq!(plain, 0.0, "expected underflow in the plain DP");
-        let scaled = scaled_forward(&emit, &params).log_total;
+        let scaled = scaled_forward(emit.view(), &params).log_total;
         assert!(scaled.is_finite());
         assert!(
             scaled < -700.0,
@@ -131,15 +159,33 @@ mod tests {
     #[test]
     fn zero_probability_pair_reports_neg_infinity() {
         let params = PhmmParams::default();
-        let emit = vec![vec![0.0; 3]; 3];
-        assert_eq!(scaled_forward(&emit, &params).log_total, f64::NEG_INFINITY);
+        let emit = EmissionTable::zeros(3, 3);
+        assert_eq!(
+            scaled_forward(emit.view(), &params).log_total,
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
     fn monotone_in_emissions() {
         let params = PhmmParams::default();
-        let lo = scaled_forward(&vec![vec![0.3; 6]; 6], &params).log_total;
-        let hi = scaled_forward(&vec![vec![0.9; 6]; 6], &params).log_total;
+        let lo = scaled_forward(EmissionTable::from_fn(6, 6, |_, _| 0.3).view(), &params).log_total;
+        let hi = scaled_forward(EmissionTable::from_fn(6, 6, |_, _| 0.9).view(), &params).log_total;
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn reused_stale_planes_give_identical_logs() {
+        // scaled_forward_into must tolerate stale plane contents.
+        let params = PhmmParams::default();
+        let big = varied_emit(12, 14);
+        let small = varied_emit(5, 6);
+        let fresh = scaled_forward(small.view(), &params).log_total;
+        let plane = 13 * 15;
+        let (mut fm, mut fx, mut fy) = (vec![0.0; plane], vec![0.0; plane], vec![0.0; plane]);
+        let mut ls = vec![0.0; 13];
+        let _ = scaled_forward_into(big.view(), &params, &mut fm, &mut fx, &mut fy, &mut ls);
+        let reused = scaled_forward_into(small.view(), &params, &mut fm, &mut fx, &mut fy, &mut ls);
+        assert_eq!(fresh.to_bits(), reused.to_bits());
     }
 }

@@ -5,6 +5,7 @@
 //! single-alignment mappers like MAQ effectively use) and for rendering
 //! human-readable alignments in the examples.
 
+use crate::emission::Emission;
 use crate::matrix::Matrix;
 use crate::params::PhmmParams;
 
@@ -44,14 +45,14 @@ const S_M: u8 = 0;
 const S_X: u8 = 1;
 const S_Y: u8 = 2;
 
-/// Viterbi decode over an emission table `emit[i-1][j-1] = p*(i, j)`.
+/// Viterbi decode over an emission view `emit.at(i-1, j-1) = p*(i, j)`.
 ///
 /// Same model and boundary conditions as [`crate::forward::forward`]: the
 /// path starts in `M` at `(1, 1)` and ends anywhere at `(N, M)`.
-pub fn viterbi(emit: &[Vec<f64>], params: &PhmmParams) -> Alignment {
-    let n = emit.len();
+pub fn viterbi(emit: Emission<'_>, params: &PhmmParams) -> Alignment {
+    let n = emit.n();
     assert!(n >= 1, "read must be non-empty");
-    let m = emit[0].len();
+    let m = emit.m();
     assert!(m >= 1, "window must be non-empty");
 
     let &PhmmParams {
@@ -83,7 +84,7 @@ pub fn viterbi(emit: &[Vec<f64>], params: &PhmmParams) -> Alignment {
                 t_gm * vy.get(i - 1, j - 1),
             ];
             let (best_state, best) = argmax3(cand_m);
-            vm.set(i, j, emit[i - 1][j - 1] * best);
+            vm.set(i, j, emit.at(i - 1, j - 1) * best);
             pm[at(i, j)] = best_state;
 
             // Insertion: from (i-1, j), M or X.
@@ -155,12 +156,13 @@ fn argmax3(v: [f64; 3]) -> (u8, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emission::EmissionTable;
     use crate::forward::forward;
     use crate::pwm::Pwm;
     use genome::alphabet::Base;
     use genome::read::SequencedRead;
 
-    fn emit_for(read_s: &str, genome_s: &str, q: u8, params: &PhmmParams) -> Vec<Vec<f64>> {
+    fn emit_for(read_s: &str, genome_s: &str, q: u8, params: &PhmmParams) -> EmissionTable {
         let r = SequencedRead::with_uniform_quality("r", read_s.parse().unwrap(), q);
         let w: Vec<Option<Base>> = genome_s
             .bytes()
@@ -173,7 +175,7 @@ mod tests {
     fn equal_sequences_align_diagonally() {
         let params = PhmmParams::default();
         let emit = emit_for("ACGTACGT", "ACGTACGT", 40, &params);
-        let a = viterbi(&emit, &params);
+        let a = viterbi(emit.view(), &params);
         assert_eq!(a.ops, vec![AlignOp::Match; 8]);
         assert_eq!(a.matches(), 8);
         assert_eq!(a.gaps(), 0);
@@ -183,7 +185,7 @@ mod tests {
     fn deletion_is_decoded() {
         let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.02);
         let emit = emit_for("ACGTA", "ACGGTA", 40, &params);
-        let a = viterbi(&emit, &params);
+        let a = viterbi(emit.view(), &params);
         assert_eq!(a.matches(), 5);
         assert_eq!(
             a.ops.iter().filter(|&&o| o == AlignOp::DelGenome).count(),
@@ -195,7 +197,7 @@ mod tests {
     fn insertion_is_decoded() {
         let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.02);
         let emit = emit_for("ACGGTA", "ACGTA", 40, &params);
-        let a = viterbi(&emit, &params);
+        let a = viterbi(emit.view(), &params);
         assert_eq!(a.matches(), 5);
         assert_eq!(a.ops.iter().filter(|&&o| o == AlignOp::InsRead).count(), 1);
     }
@@ -205,7 +207,7 @@ mod tests {
         let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.02);
         for (r, g) in [("ACGT", "ACGT"), ("ACGTT", "ACG"), ("AC", "ACGTT")] {
             let emit = emit_for(r, g, 30, &params);
-            let a = viterbi(&emit, &params);
+            let a = viterbi(emit.view(), &params);
             let consumed_read: usize = a.ops.iter().filter(|&&o| o != AlignOp::DelGenome).count();
             let consumed_genome: usize = a.ops.iter().filter(|&&o| o != AlignOp::InsRead).count();
             assert_eq!(consumed_read, r.len());
@@ -219,8 +221,8 @@ mod tests {
         let params = PhmmParams::default();
         for (r, g) in [("ACGT", "ACCT"), ("AAAA", "TTTT"), ("ACGTACG", "ACGTTCG")] {
             let emit = emit_for(r, g, 25, &params);
-            let v = viterbi(&emit, &params);
-            let f = forward(&emit, &params);
+            let v = viterbi(emit.view(), &params);
+            let f = forward(emit.view(), &params);
             assert!(
                 v.probability <= f.total * (1.0 + 1e-12),
                 "viterbi {} > total {}",

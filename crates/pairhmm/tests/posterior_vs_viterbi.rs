@@ -6,12 +6,13 @@
 use genome::alphabet::Base;
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
+use pairhmm::emission::EmissionTable;
 use pairhmm::marginal::PosteriorAlignment;
 use pairhmm::params::PhmmParams;
 use pairhmm::pwm::Pwm;
 use pairhmm::viterbi::{viterbi, AlignOp};
 
-fn emit_for(read_s: &str, genome_s: &str, q: u8, params: &PhmmParams) -> (Vec<Vec<f64>>, Pwm) {
+fn emit_for(read_s: &str, genome_s: &str, q: u8, params: &PhmmParams) -> (EmissionTable, Pwm) {
     let read = SequencedRead::with_uniform_quality("r", read_s.parse().unwrap(), q);
     let window: Vec<Option<Base>> = genome_s.parse::<DnaSeq>().unwrap().iter().collect();
     let pwm = Pwm::from_read(&read);
@@ -27,11 +28,11 @@ fn posterior_argmax_matches_viterbi_on_clean_pairs() {
         ("TTGACCAGTTCAGG", "TTGACCAGTTCAGG"),
     ] {
         let (emit, _) = emit_for(r, g, 35, &params);
-        let v = viterbi(&emit, &params);
+        let v = viterbi(emit.view(), &params);
         assert!(v.ops.iter().all(|&o| o == AlignOp::Match));
         // For each read base, the posterior-argmax genome column must be
         // the diagonal one Viterbi chose.
-        let post = PosteriorAlignment::from_emissions(&emit, &params);
+        let post = PosteriorAlignment::from_emissions(emit.view(), &params);
         for i in 1..=r.len() {
             let best_j = (1..=g.len())
                 .max_by(|&a, &b| {
@@ -50,7 +51,7 @@ fn posterior_argmax_matches_viterbi_through_an_indel() {
     let params = PhmmParams::with_gap_rates(0.05, 0.5, 0.02);
     // Genome has one extra base at offset 6 (0-based): read skips it.
     let (emit, _) = emit_for("TTGACCAGTTCAGG", "TTGACCGAGTTCAGG", 35, &params);
-    let v = viterbi(&emit, &params);
+    let v = viterbi(emit.view(), &params);
     let dels: Vec<usize> = v
         .ops
         .iter()
@@ -67,7 +68,7 @@ fn posterior_argmax_matches_viterbi_through_an_indel() {
         .iter()
         .filter(|&&o| o != AlignOp::InsRead)
         .count();
-    let post = PosteriorAlignment::from_emissions(&emit, &params);
+    let post = PosteriorAlignment::from_emissions(emit.view(), &params);
     let del_mass: f64 = (1..=14)
         .map(|i| post.deletion_posterior(i, skipped_col))
         .sum();
@@ -83,8 +84,8 @@ fn viterbi_probability_is_a_large_share_on_unambiguous_pairs() {
     // path should carry most of the total probability mass.
     let params = PhmmParams::default();
     let (emit, _) = emit_for("ACGGTTCAGGCATTGC", "ACGGTTCAGGCATTGC", 40, &params);
-    let v = viterbi(&emit, &params);
-    let total = pairhmm::forward::forward(&emit, &params).total;
+    let v = viterbi(emit.view(), &params);
+    let total = pairhmm::forward::forward(emit.view(), &params).total;
     assert!(
         v.probability / total > 0.9,
         "share {}",

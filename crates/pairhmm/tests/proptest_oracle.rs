@@ -4,6 +4,7 @@
 
 use pairhmm::backward::backward;
 use pairhmm::bruteforce::enumerate;
+use pairhmm::emission::EmissionTable;
 use pairhmm::forward::forward;
 use pairhmm::params::PhmmParams;
 use pairhmm::scaling::scaled_forward;
@@ -17,10 +18,12 @@ fn params_strategy() -> impl Strategy<Value = PhmmParams> {
 }
 
 /// Random emission table with entries in (0, 1].
-fn emit_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    (1..=max_n, 1..=max_m).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), n)
-    })
+fn emit_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = EmissionTable> {
+    (1..=max_n, 1..=max_m)
+        .prop_flat_map(|(n, m)| {
+            proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), n)
+        })
+        .prop_map(|rows| EmissionTable::from_rows(&rows))
 }
 
 proptest! {
@@ -31,8 +34,8 @@ proptest! {
         emit in emit_strategy(5, 5),
         params in params_strategy(),
     ) {
-        let oracle = enumerate(&emit, &params);
-        let f = forward(&emit, &params);
+        let oracle = enumerate(emit.view(), &params);
+        let f = forward(emit.view(), &params);
         let tol = 1e-12 * oracle.total.max(1e-300);
         prop_assert!((oracle.total - f.total).abs() <= tol,
             "oracle {} vs forward {}", oracle.total, f.total);
@@ -43,11 +46,11 @@ proptest! {
         emit in emit_strategy(4, 4),
         params in params_strategy(),
     ) {
-        let oracle = enumerate(&emit, &params);
-        let f = forward(&emit, &params);
-        let b = backward(&emit, &params);
-        let n = emit.len();
-        let m = emit[0].len();
+        let oracle = enumerate(emit.view(), &params);
+        let f = forward(emit.view(), &params);
+        let b = backward(emit.view(), &params);
+        let n = emit.n();
+        let m = emit.m();
         let tol = 1e-11 * oracle.total.max(1e-300);
         for i in 1..=n {
             for j in 1..=m {
@@ -66,8 +69,8 @@ proptest! {
         emit in emit_strategy(12, 12),
         params in params_strategy(),
     ) {
-        let f = forward(&emit, &params).total;
-        let b = backward(&emit, &params).total;
+        let f = forward(emit.view(), &params).total;
+        let b = backward(emit.view(), &params).total;
         prop_assert!((f - b).abs() <= 1e-11 * f.max(1e-300),
             "fwd {f} vs bwd {b}");
     }
@@ -77,10 +80,10 @@ proptest! {
         emit in emit_strategy(9, 9),
         params in params_strategy(),
     ) {
-        let f = forward(&emit, &params);
-        let b = backward(&emit, &params);
-        let n = emit.len();
-        let m = emit[0].len();
+        let f = forward(emit.view(), &params);
+        let b = backward(emit.view(), &params);
+        let n = emit.n();
+        let m = emit.m();
         prop_assume!(f.total > 1e-280); // skip degenerate all-but-zero cases
         for i in 1..=n {
             let mut acc = 0.0;
@@ -107,9 +110,9 @@ proptest! {
         emit in emit_strategy(15, 15),
         params in params_strategy(),
     ) {
-        let plain = forward(&emit, &params).total;
+        let plain = forward(emit.view(), &params).total;
         prop_assume!(plain > 0.0);
-        let scaled = scaled_forward(&emit, &params).log_total;
+        let scaled = scaled_forward(emit.view(), &params).log_total;
         prop_assert!((scaled - plain.ln()).abs() < 1e-8,
             "scaled {scaled} vs ln(plain) {}", plain.ln());
     }

@@ -1,0 +1,92 @@
+//! Steady-state allocation audit for the fused scratch kernel.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after one
+//! warmup alignment per configuration, repeated `posterior_columns` /
+//! `scaled_log_total` calls on a reused [`pairhmm::PhmmScratch`] must
+//! perform **zero** heap allocations — the core promise of the
+//! scratch-arena design. This lives in its own integration-test binary so
+//! the global allocator hook and the single-threaded counter discipline
+//! (one `#[test]` only) cannot interfere with other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn fused_kernel_is_allocation_free_in_steady_state() {
+    use genome::alphabet::BASES;
+    use pairhmm::params::PhmmParams;
+    use pairhmm::pwm::Pwm;
+    use pairhmm::PhmmScratch;
+
+    let params = PhmmParams::default();
+    // Deterministic 62-bp read/window pair (paper read length), built
+    // before any counting so its allocations are irrelevant.
+    let n = 62usize;
+    let rows: Vec<[f64; 4]> = (0..n)
+        .map(|i| {
+            let mut row = [0.02f64; 4];
+            row[i % 4] = 0.94;
+            row
+        })
+        .collect();
+    let pwm = Pwm::from_rows(rows);
+    let window: Vec<_> = (0..n).map(|j| Some(BASES[(j * 7 + 3) % 4])).collect();
+
+    let mut scratch = PhmmScratch::new();
+    let mut sink = 0.0f64;
+
+    // Warmup: grow every buffer for each configuration exercised below.
+    sink += scratch.posterior_columns(&pwm, &window, &params, None);
+    sink += scratch.posterior_columns(&pwm, &window, &params, Some(4));
+    sink += scratch.scaled_log_total(&pwm, &window, &params);
+
+    let before = allocation_count();
+    for _ in 0..100 {
+        sink += scratch.posterior_columns(&pwm, &window, &params, None);
+        sink += scratch.posterior_columns(&pwm, &window, &params, Some(4));
+        sink += scratch.scaled_log_total(&pwm, &window, &params);
+        sink += scratch.columns()[0].probs[0];
+    }
+    let after = allocation_count();
+
+    assert!(sink.is_finite(), "keep the computation observable");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state scratch alignments must not allocate \
+         ({} allocations over 300 alignments)",
+        after - before
+    );
+}

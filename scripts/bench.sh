@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pair-HMM throughput tracking: builds the bench harness and writes
+# BENCH_phmm.json at the repo root.
+#
+#   scripts/bench.sh          full measurement windows (stable numbers)
+#   scripts/bench.sh --quick  CI smoke test: compiles + asserts non-zero
+#                             throughput, tiny workload
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin bench_phmm
+
+# Quick (CI smoke) runs write under target/ so they never clobber the
+# tracked full-measurement numbers at the repo root.
+out="BENCH_phmm.json"
+for arg in "$@"; do
+    [[ "$arg" == "--quick" ]] && out="target/BENCH_phmm_quick.json"
+done
+
+exec target/release/bench_phmm "$@" --out "$out"

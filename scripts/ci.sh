@@ -10,6 +10,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (pairhmm hot-loop lints)"
+# The kernel crate additionally forbids indexed hot loops (they defeat
+# autovectorization) and large stack arrays.
+cargo clippy -p pairhmm --all-targets -- \
+    -D clippy::needless_range_loop -D clippy::large_stack_arrays
+
 echo "==> tier-1: build + test"
 cargo build --release
 cargo test -q
@@ -19,5 +25,8 @@ cargo test -q --workspace
 
 echo "==> conformance gate: gnumap verify --fast"
 target/release/gnumap verify --fast
+
+echo "==> benchmark harness smoke: scripts/bench.sh --quick"
+scripts/bench.sh --quick
 
 echo "CI gate passed."

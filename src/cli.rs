@@ -448,20 +448,21 @@ fn cmd_map(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
     let engine = crate::core::MappingEngine::new(&reference, GnumapConfig::default().mapping);
     writeln!(out, "#read	location	strand	posterior_weight").map_err(|e| e.to_string())?;
+    let mut scratch = crate::core::mapping::AlignScratch::new();
     for read in reads.iter().take(max) {
-        let alignments = engine.map_read(read);
-        if alignments.is_empty() {
+        engine.map_read_with(read, &mut scratch);
+        if scratch.is_empty() {
             writeln!(out, "{}	*	*	0", read.id).map_err(|e| e.to_string())?;
             continue;
         }
-        for aln in alignments {
+        for aln in scratch.alignments() {
             writeln!(
                 out,
                 "{}	{}	{}	{:.6}",
                 read.id,
                 aln.window_start,
                 if aln.reverse { '-' } else { '+' },
-                aln.weight
+                aln.score
             )
             .map_err(|e| e.to_string())?;
         }
