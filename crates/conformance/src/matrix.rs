@@ -2,7 +2,8 @@
 //!
 //! One seeded workload at a time, the serial pipeline is the reference and
 //! every parallel decomposition — rayon, read-split MPI, genome-split MPI,
-//! read-split ring and the streaming engine — must reproduce it *exactly*:
+//! read-split ring, the streaming engine, and the loopback batching
+//! server — must reproduce it *exactly*:
 //!
 //! * the same `FixedAccumulator` digest (an XOR of per-position avalanche
 //!   hashes over the raw count bits, so one flipped ULP anywhere in the
@@ -229,6 +230,69 @@ fn compare_drivers(
             &r,
         ),
         Err(e) => out.fail(format!("workload {workload}: stream driver failed: {e}")),
+    }
+
+    // The serving layer: a loopback TCP round trip through the batching
+    // daemon must also be bit-identical. One workload suffices — the
+    // server reuses the per-session sharded fixed-point accumulator, so
+    // this row guards the wire + session plumbing, not the arithmetic.
+    if workload == 0 {
+        compare_server(out, workload, wl, reference);
+    }
+}
+
+/// The `server` row: run the workload through a real loopback daemon.
+fn compare_server(out: &mut Outcome, workload: usize, wl: &Workload, reference: &RunReport) {
+    let cfg = server::ServerConfig {
+        workers: 2,
+        batch_size: 16,
+        ..Default::default()
+    };
+    let handle = match server::start(wl.reference.clone(), wl.config, cfg, "127.0.0.1:0") {
+        Ok(h) => h,
+        Err(e) => {
+            out.fail(format!("workload {workload}: server failed to start: {e}"));
+            return;
+        }
+    };
+    let result = (|| -> Result<server::CallResult, String> {
+        let mut client = server::Client::connect(handle.addr()).map_err(|e| e.to_string())?;
+        let session = client
+            .open_session(wl.config.calling.into())
+            .map_err(|e| e.to_string())?;
+        for chunk in wl.reads.chunks(32) {
+            client
+                .submit_reads(session, chunk)
+                .map_err(|e| e.to_string())?;
+        }
+        client.finalize(session, 120_000).map_err(|e| e.to_string())
+    })();
+    handle.shutdown();
+    handle.join();
+    match result {
+        Ok(r) => {
+            let report = RunReport {
+                calls: r.calls,
+                reads_processed: r.reads_processed as usize,
+                reads_mapped: r.reads_mapped as usize,
+                elapsed_secs: 0.0,
+                accumulator_bytes: 0,
+                traffic: None,
+                rank_cpu_secs: Vec::new(),
+                stream: None,
+                accumulator_digest: Some(r.digest),
+            };
+            assert_identical(
+                out,
+                workload,
+                "server(loopback, workers 2, batch 16)",
+                reference,
+                &report,
+            );
+        }
+        Err(e) => out.fail(format!(
+            "workload {workload}: server round trip failed: {e}"
+        )),
     }
 }
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Pair-HMM throughput tracking: builds the bench harness and writes
-# BENCH_phmm.json at the repo root.
+# Throughput tracking: builds the bench harness and writes
+# BENCH_phmm.json (kernel + pipeline) and BENCH_server.json (serving
+# layer) at the repo root.
 #
 #   scripts/bench.sh          full measurement windows (stable numbers)
 #   scripts/bench.sh --quick  CI smoke test: compiles + asserts non-zero
@@ -8,13 +9,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p bench --bin bench_phmm
+cargo build --release -p bench --bin bench_phmm --bin bench_server
 
 # Quick (CI smoke) runs write under target/ so they never clobber the
 # tracked full-measurement numbers at the repo root.
-out="BENCH_phmm.json"
+phmm_out="BENCH_phmm.json"
+server_out="BENCH_server.json"
 for arg in "$@"; do
-    [[ "$arg" == "--quick" ]] && out="target/BENCH_phmm_quick.json"
+    if [[ "$arg" == "--quick" ]]; then
+        phmm_out="target/BENCH_phmm_quick.json"
+        server_out="target/BENCH_server_quick.json"
+    fi
 done
 
-exec target/release/bench_phmm "$@" --out "$out"
+target/release/bench_phmm "$@" --out "$phmm_out"
+target/release/bench_server "$@" --out "$server_out"

@@ -26,6 +26,36 @@ cargo test -q --workspace
 echo "==> conformance gate: gnumap verify --fast"
 target/release/gnumap verify --fast
 
+echo "==> serve smoke: loopback server round trip + clean drain"
+smoke_dir="target/serve-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+target/release/gnumap simulate --out-dir "$smoke_dir" \
+    --genome-len 6000 --snps 5 --coverage 8 --seed 404 >/dev/null
+serve_log="$smoke_dir/serve.log"
+target/release/gnumap serve --reference "$smoke_dir/reference.fa" \
+    --addr 127.0.0.1:0 --workers 2 --port-file "$smoke_dir/port" \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$smoke_dir/port" ]] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log"; exit 1; }
+    sleep 0.1
+done
+addr="$(cat "$smoke_dir/port")"
+target/release/gnumap client --addr "$addr" --ping >/dev/null
+target/release/gnumap client --addr "$addr" --reads "$smoke_dir/reads.fq" \
+    --out "$smoke_dir/served.vcf" >/dev/null
+target/release/gnumap client --addr "$addr" --stats >/dev/null
+target/release/gnumap client --addr "$addr" --shutdown >/dev/null
+wait "$serve_pid"
+grep -q "drained:" "$serve_log" || {
+    echo "server did not report a clean drain:"; cat "$serve_log"; exit 1;
+}
+grep -qv "^#" "$smoke_dir/served.vcf" || {
+    echo "served VCF has no call records"; exit 1;
+}
+
 echo "==> benchmark harness smoke: scripts/bench.sh --quick"
 scripts/bench.sh --quick
 

@@ -118,9 +118,11 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "evaluate" => cmd_evaluate(&args, out),
         "index-stats" => cmd_index_stats(&args, out),
         "verify" => cmd_verify(&args, out),
+        "serve" => cmd_serve(&args, out),
+        "client" => cmd_client(&args, out),
         other => Err(format!(
             "unknown subcommand {other:?}; expected simulate | call | map | evaluate | \
-             index-stats | verify"
+             index-stats | verify | serve | client"
         )),
     }
 }
@@ -143,6 +145,14 @@ USAGE:
   gnumap evaluate    --calls calls.vcf --truth truth.tsv
   gnumap index-stats --reference ref.fa [--k N]
   gnumap verify      [--fast]
+  gnumap serve       --reference ref.fa [--addr HOST:PORT] [--workers N]
+                     [--batch-size N] [--shards N] [--ingress-capacity N]
+                     [--submit-timeout-ms MS] [--deadline-ms MS]
+                     [--port-file PATH]
+  gnumap client      --addr HOST:PORT (--ping | --stats | --shutdown |
+                     --reads reads.fq [--ploidy P] [--alpha A | --fdr Q]
+                     [--min-coverage X] [--chunk-size N] [--deadline-ms MS]
+                     [--out calls.vcf] [--chrom NAME] [--sample NAME])
 ";
 
 fn read_reference(path: &str) -> Result<(String, genome::DnaSeq), String> {
@@ -579,6 +589,210 @@ fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
+fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let reference_path = args.require("reference")?;
+    let addr: String = args.get("addr", "127.0.0.1:0".to_string())?;
+    let workers: usize = args.get("workers", 2usize)?;
+    let batch_size: usize = args.get("batch-size", 32usize)?;
+    let shards: usize = args.get("shards", 16usize)?;
+    let ingress_capacity: usize = args.get("ingress-capacity", 64usize)?;
+    let submit_timeout_ms: u64 = args.get("submit-timeout-ms", 2_000u64)?;
+    let deadline_ms: u64 = args.get("deadline-ms", 30_000u64)?;
+    let port_file = args.optional("port-file");
+    args.reject_unknown()?;
+
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let (_, reference) = read_reference(&reference_path)?;
+    let cfg = server::ServerConfig {
+        workers,
+        batch_size,
+        shards,
+        ingress_capacity,
+        dispatch_capacity: workers * 4,
+        submit_timeout: std::time::Duration::from_millis(submit_timeout_ms),
+        default_deadline: std::time::Duration::from_millis(deadline_ms),
+        ..Default::default()
+    };
+    let handle = server::start(reference, GnumapConfig::default(), cfg, &addr)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = handle.addr();
+    if let Some(path) = &port_file {
+        // Written atomically (rename) so pollers never read a half file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{bound}\n")).map_err(|e| format!("{tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))?;
+    }
+    writeln!(out, "listening on {bound} with {workers} worker(s)").map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+
+    // Serve until a Shutdown frame arrives, then report the drain.
+    let stats = handle.join();
+    writeln!(
+        out,
+        "drained: {} session(s) served, {} read(s) processed, {} batch(es) \
+         (occupancy {:.2}, {:.2} session(s)/batch), {} busy, {} timeout(s)",
+        stats.sessions_opened,
+        stats.reads_processed,
+        stats.batches_dispatched,
+        stats.mean_batch_occupancy,
+        stats.mean_sessions_per_batch,
+        stats.busy_rejections,
+        stats.timeouts,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_client(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let do_ping = args.flag("ping");
+    let do_stats = args.flag("stats");
+    let do_shutdown = args.flag("shutdown");
+    let reads_path = args.optional("reads");
+    let ploidy_s: String = args.get("ploidy", "monoploid".to_string())?;
+    let alpha: Option<f64> = args
+        .optional("alpha")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "--alpha: expected a number".to_string())?;
+    let fdr: Option<f64> = args
+        .optional("fdr")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "--fdr: expected a number".to_string())?;
+    let min_coverage: f64 = args.get("min-coverage", 3.0f64)?;
+    let chunk_size: usize = args.get("chunk-size", 256usize)?;
+    let deadline_ms: u32 = args.get("deadline-ms", 0u32)?;
+    let out_path = args.optional("out");
+    let chrom: String = args.get("chrom", "chrSim".to_string())?;
+    let sample: String = args.get("sample", "sample".to_string())?;
+    args.reject_unknown()?;
+
+    let modes = [do_ping, do_stats, do_shutdown, reads_path.is_some()];
+    if modes.iter().filter(|m| **m).count() != 1 {
+        return Err("pick exactly one of --ping, --stats, --shutdown, or --reads".into());
+    }
+
+    let mut client = server::Client::connect(&*addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    if do_ping {
+        client.ping(0x676e756d).map_err(|e| e.to_string())?;
+        return writeln!(out, "pong from {addr}").map_err(|e| e.to_string());
+    }
+    if do_stats {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        return writeln!(
+            out,
+            "sessions {}/{} open/total ({} aborted)\n\
+             reads    {} accepted, {} processed, {} mapped\n\
+             batches  {} ({:.2} reads/batch, {:.2} sessions/batch, {} cross-session)\n\
+             ingress  {} now, {} peak; {} busy, {} timeout(s)\n\
+             latency  p50 {} µs, p99 {} µs\n\
+             cpu      {:.3}s total, {:.3}s busiest worker",
+            s.sessions_open,
+            s.sessions_opened,
+            s.sessions_aborted,
+            s.reads_accepted,
+            s.reads_processed,
+            s.reads_mapped,
+            s.batches_dispatched,
+            s.mean_batch_occupancy,
+            s.mean_sessions_per_batch,
+            s.cross_session_batches,
+            s.ingress_depth,
+            s.max_ingress_depth,
+            s.busy_rejections,
+            s.timeouts,
+            s.p50_service_micros,
+            s.p99_service_micros,
+            s.worker_cpu_secs,
+            s.max_worker_cpu_secs,
+        )
+        .map_err(|e| e.to_string());
+    }
+    if do_shutdown {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        return writeln!(out, "server at {addr} is shutting down").map_err(|e| e.to_string());
+    }
+
+    // Session mode: stream a FASTQ through the server and print calls.
+    let reads_path = reads_path.expect("mode check guarantees --reads");
+    let ploidy = match ploidy_s.as_str() {
+        "monoploid" | "haploid" => Ploidy::Monoploid,
+        "diploid" => Ploidy::Diploid,
+        other => return Err(format!("--ploidy: unknown value {other:?}")),
+    };
+    let cutoff = match (alpha, fdr) {
+        (Some(_), Some(_)) => return Err("--alpha and --fdr are mutually exclusive".into()),
+        (Some(a), None) => Cutoff::PValue(a),
+        (None, Some(q)) => Cutoff::Fdr(q),
+        (None, None) => Cutoff::PValue(0.05),
+    };
+    let session_config = server::SessionConfig {
+        ploidy,
+        cutoff,
+        min_total: min_coverage,
+    };
+    let session = client
+        .open_session(session_config)
+        .map_err(|e| e.to_string())?;
+
+    // Stream the FASTQ incrementally: constant client memory, and chunked
+    // submits give the server's batcher cross-request material.
+    let mut stream = exec::FastqStream::open(&reads_path).map_err(|e| e.to_string())?;
+    let mut submitted = 0u64;
+    loop {
+        let chunk = exec::ReadStream::next_chunk(&mut stream, chunk_size.max(1))
+            .map_err(|e| format!("{reads_path}: {e}"))?;
+        if chunk.is_empty() {
+            break;
+        }
+        submitted += u64::from(submit_with_retry(&mut client, session, &chunk)?);
+    }
+    let result = client
+        .finalize(session, deadline_ms)
+        .map_err(|e| e.to_string())?;
+    let records: Vec<_> = result
+        .calls
+        .iter()
+        .map(|c| c.to_vcf_record(&chrom))
+        .collect();
+    writeln!(
+        out,
+        "session {session}: {submitted} read(s) submitted, {} mapped, {} call(s), \
+         accumulator digest {:016x}",
+        result.reads_mapped,
+        result.calls.len(),
+        result.digest
+    )
+    .map_err(|e| e.to_string())?;
+    match out_path {
+        Some(p) => {
+            let w = BufWriter::new(File::create(&p).map_err(|e| format!("{p}: {e}"))?);
+            genome::vcf::write_vcf(w, &sample, &records).map_err(|e| e.to_string())?;
+            writeln!(out, "wrote {} call(s) to {p}", records.len()).map_err(|e| e.to_string())
+        }
+        None => genome::vcf::write_vcf(out, &sample, &records).map_err(|e| e.to_string()),
+    }
+}
+
+/// Submit one chunk, backing off briefly on typed `Busy` rejections.
+fn submit_with_retry(
+    client: &mut server::Client,
+    session: u64,
+    chunk: &[genome::SequencedRead],
+) -> Result<u32, String> {
+    loop {
+        match client.submit_reads(session, chunk) {
+            Ok(n) => return Ok(n),
+            Err(err) if err.is_kind(server::ErrorKind::Busy) => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(err) => return Err(err.to_string()),
+        }
+    }
+}
+
 /// Helper for integration tests: run with string args against a buffer.
 pub fn run_to_string(argv: &[&str]) -> Result<String, String> {
     let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
@@ -765,6 +979,119 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("mutually exclusive"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_client_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("gnumap-cli-serve-{}", std::process::id()));
+        let dirs = dir.to_str().unwrap().to_string();
+        std::fs::create_dir_all(&dir).unwrap();
+        run_to_string(&[
+            "simulate",
+            "--out-dir",
+            &dirs,
+            "--genome-len",
+            "6000",
+            "--snps",
+            "5",
+            "--coverage",
+            "10",
+            "--seed",
+            "31",
+        ])
+        .unwrap();
+        let fa = format!("{dirs}/reference.fa");
+        let fq = format!("{dirs}/reads.fq");
+        let port_file = format!("{dirs}/port");
+
+        // The server blocks until a Shutdown frame, so it runs on a thread.
+        let fa2 = fa.clone();
+        let pf2 = port_file.clone();
+        let server_thread = std::thread::spawn(move || {
+            run_to_string(&[
+                "serve",
+                "--reference",
+                &fa2,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--port-file",
+                &pf2,
+            ])
+        });
+
+        // Wait for the port file to appear.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let pong = run_to_string(&["client", "--addr", &addr, "--ping"]).unwrap();
+        assert!(pong.contains("pong"), "{pong}");
+
+        let vcf = format!("{dirs}/served.vcf");
+        let msg = run_to_string(&[
+            "client",
+            "--addr",
+            &addr,
+            "--reads",
+            &fq,
+            "--out",
+            &vcf,
+            "--chunk-size",
+            "32",
+        ])
+        .unwrap();
+        assert!(msg.contains("accumulator digest"), "{msg}");
+
+        // The served calls match a local serial run over the same input.
+        let vcf_local = format!("{dirs}/local.vcf");
+        run_to_string(&[
+            "call",
+            "--reference",
+            &fa,
+            "--reads",
+            &fq,
+            "--out",
+            &vcf_local,
+            "--driver",
+            "stream",
+            "--workers",
+            "1",
+        ])
+        .unwrap();
+        let strip = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split('\t').take(5).collect::<Vec<_>>().join("\t"))
+                .collect()
+        };
+        let served = std::fs::read_to_string(&vcf).unwrap();
+        let local = std::fs::read_to_string(&vcf_local).unwrap();
+        assert_eq!(strip(&served), strip(&local), "served calls diverged");
+
+        let stats = run_to_string(&["client", "--addr", &addr, "--stats"]).unwrap();
+        assert!(stats.contains("reads"), "{stats}");
+
+        // Exactly one mode must be chosen.
+        let err = run_to_string(&["client", "--addr", &addr, "--ping", "--stats"]).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+
+        let bye = run_to_string(&["client", "--addr", &addr, "--shutdown"]).unwrap();
+        assert!(bye.contains("shutting down"), "{bye}");
+        let serve_out = server_thread.join().unwrap().unwrap();
+        assert!(serve_out.contains("listening on"), "{serve_out}");
+        assert!(serve_out.contains("drained:"), "{serve_out}");
 
         std::fs::remove_dir_all(&dir).ok();
     }
