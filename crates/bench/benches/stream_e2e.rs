@@ -1,15 +1,16 @@
 //! Criterion bench for the streaming execution engine: end-to-end
-//! reads/sec through `run_stream` at 1, 2 and 4 workers, plus the cost of
-//! a checkpointed run. On a single-core host wall-clock times won't scale
-//! with workers; the printed elements/sec throughput is still the honest
-//! per-configuration figure, and `RunReport.rank_cpu_secs` (not measured
-//! here) carries the per-worker CPU-time breakdown.
+//! reads/sec through the registry's `stream` driver at 1, 2 and 4
+//! workers, plus the cost of a checkpointed run. On a single-core host
+//! wall-clock times won't scale with workers; the printed elements/sec
+//! throughput is still the honest per-configuration figure, and
+//! `RunReport.rank_cpu_secs` (not measured here) carries the per-worker
+//! CPU-time breakdown.
 
 use bench::WorkloadSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use exec::{run_stream, CheckpointPolicy, MemoryStream, StreamConfig};
-use gnumap_core::accum::FixedAccumulator;
-use gnumap_core::GnumapConfig;
+use engine::{DriverRegistry, NullSink, ReadSource, RunContext};
+use exec::{CheckpointPolicy, MemoryStream};
+use gnumap_core::accum::AccumulatorMode;
 use std::hint::black_box;
 
 fn bench_stream_workers(c: &mut Criterion) {
@@ -20,7 +21,8 @@ fn bench_stream_workers(c: &mut Criterion) {
         seed: 11,
     }
     .build();
-    let cfg = GnumapConfig::default();
+    let registry = DriverRegistry::standard();
+    let driver = registry.get("stream").expect("stream driver registered");
     let mut group = c.benchmark_group("stream_e2e");
     group.sample_size(10);
     group.throughput(Throughput::Elements(w.reads.len() as u64));
@@ -29,15 +31,14 @@ fn bench_stream_workers(c: &mut Criterion) {
             BenchmarkId::new("workers", workers),
             &workers,
             |b, &workers| {
-                let sc = StreamConfig {
-                    workers,
-                    ..Default::default()
-                };
+                let mut ctx = RunContext::new(&w.reference);
+                ctx.config.accumulator = AccumulatorMode::Fixed;
+                ctx.threads = workers;
                 b.iter(|| {
                     let mut stream = MemoryStream::new(w.reads.clone());
-                    let report =
-                        run_stream::<FixedAccumulator>(&w.reference, &mut stream, &cfg, &sc)
-                            .expect("streaming run");
+                    let report = driver
+                        .run(&ctx, ReadSource::Stream(&mut stream), &mut NullSink)
+                        .expect("streaming run");
                     black_box(report.calls.len())
                 })
             },
@@ -54,25 +55,26 @@ fn bench_stream_checkpointing(c: &mut Criterion) {
         seed: 11,
     }
     .build();
-    let cfg = GnumapConfig::default();
+    let registry = DriverRegistry::standard();
+    let driver = registry.get("stream").expect("stream driver registered");
     let dir = std::env::temp_dir().join(format!("bench-stream-ckpt-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let mut group = c.benchmark_group("stream_e2e");
     group.sample_size(10);
     group.throughput(Throughput::Elements(w.reads.len() as u64));
     group.bench_function("checkpoint_every_8_batches", |b| {
-        let sc = StreamConfig {
-            workers: 2,
-            checkpoint: Some(CheckpointPolicy {
-                path: dir.join("bench.ckpt"),
-                every_batches: 8,
-                resume: false,
-            }),
-            ..Default::default()
-        };
+        let mut ctx = RunContext::new(&w.reference);
+        ctx.config.accumulator = AccumulatorMode::Fixed;
+        ctx.threads = 2;
+        ctx.checkpoint = Some(CheckpointPolicy {
+            path: dir.join("bench.ckpt"),
+            every_batches: 8,
+            resume: false,
+        });
         b.iter(|| {
             let mut stream = MemoryStream::new(w.reads.clone());
-            let report = run_stream::<FixedAccumulator>(&w.reference, &mut stream, &cfg, &sc)
+            let report = driver
+                .run(&ctx, ReadSource::Stream(&mut stream), &mut NullSink)
                 .expect("checkpointed run");
             black_box(report.stream.map(|s| s.checkpoints_written))
         })

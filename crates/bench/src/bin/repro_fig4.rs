@@ -15,10 +15,9 @@
 //! the simulated ranks timeshare fewer physical cores than there are
 //! ranks. The substitution is documented in DESIGN.md §2.
 
-use bench::{proc_sweep, render_table, repetitions, WorkloadSpec};
-use gnumap_core::accum::NormAccumulator;
-use gnumap_core::driver::genome_split::run_genome_split;
-use gnumap_core::driver::read_split::run_read_split;
+use bench::{proc_sweep, render_table, repetitions, run_registry_driver, WorkloadSpec};
+use engine::DriverRegistry;
+use gnumap_core::accum::AccumulatorMode;
 use gnumap_core::report::CommModel;
 use gnumap_core::GnumapConfig;
 
@@ -35,7 +34,9 @@ fn main() {
 
     // Warm-up run: populate caches so the p = 1 baseline isn't penalised
     // for going first.
-    let _ = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, 1);
+    let registry = DriverRegistry::standard();
+    let norm = AccumulatorMode::Norm;
+    let _ = run_registry_driver(&registry, "read-split", &w, &cfg, norm, 1);
 
     let mut rows = Vec::new();
     let mut base_rate = None;
@@ -43,19 +44,15 @@ fn main() {
     for &p in &procs {
         let mut shared_rate = 0.0f64;
         let mut spread_rate = 0.0f64;
-        let mut shared = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
-            .expect("call wire intact");
-        let mut spread = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
-            .expect("call wire intact");
+        let mut shared = run_registry_driver(&registry, "read-split", &w, &cfg, norm, p);
+        let mut spread = run_registry_driver(&registry, "genome-split", &w, &cfg, norm, p);
         for _ in 0..reps {
-            let s = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
-                .expect("call wire intact");
+            let s = run_registry_driver(&registry, "read-split", &w, &cfg, norm, p);
             if s.simulated_seqs_per_sec(&model) > shared_rate {
                 shared_rate = s.simulated_seqs_per_sec(&model);
                 shared = s;
             }
-            let g = run_genome_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
-                .expect("call wire intact");
+            let g = run_registry_driver(&registry, "genome-split", &w, &cfg, norm, p);
             if g.simulated_seqs_per_sec(&model) > spread_rate {
                 spread_rate = g.simulated_seqs_per_sec(&model);
                 spread = g;

@@ -8,11 +8,9 @@
 //! nearest-centroid search) for memory, and the cost stays within a small
 //! factor at every processor count.
 
-use bench::{proc_sweep, render_table, repetitions, WorkloadSpec};
-use gnumap_core::accum::{
-    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, NormAccumulator,
-};
-use gnumap_core::driver::read_split::run_read_split;
+use bench::{proc_sweep, render_table, repetitions, run_registry_driver, WorkloadSpec};
+use engine::DriverRegistry;
+use gnumap_core::accum::AccumulatorMode;
 use gnumap_core::report::CommModel;
 use gnumap_core::GnumapConfig;
 
@@ -29,28 +27,24 @@ fn main() {
     let model = CommModel::default();
     // Warm-up run: populate caches so the p = 1 baseline isn't penalised
     // for going first.
-    let _ = run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, 1);
+    let registry = DriverRegistry::standard();
+    let _ = run_registry_driver(&registry, "read-split", &w, &cfg, AccumulatorMode::Norm, 1);
 
     let mut rows = Vec::new();
     let mut base_rate = None;
     let reps = repetitions();
     for &p in &procs {
-        let best = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(0.0f64, f64::max);
-        let norm = best(&|| {
-            run_read_split::<NormAccumulator>(&w.reference, &w.reads, &cfg, p)
-                .expect("call wire intact")
-                .simulated_seqs_per_sec(&model)
-        });
-        let chard = best(&|| {
-            run_read_split::<CharDiscAccumulator>(&w.reference, &w.reads, &cfg, p)
-                .expect("call wire intact")
-                .simulated_seqs_per_sec(&model)
-        });
-        let cent = best(&|| {
-            run_read_split::<CentDiscAccumulator>(&w.reference, &w.reads, &cfg, p)
-                .expect("call wire intact")
-                .simulated_seqs_per_sec(&model)
-        });
+        let best = |mode: AccumulatorMode| {
+            (0..reps)
+                .map(|_| {
+                    run_registry_driver(&registry, "read-split", &w, &cfg, mode, p)
+                        .simulated_seqs_per_sec(&model)
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let norm = best(AccumulatorMode::Norm);
+        let chard = best(AccumulatorMode::CharDisc);
+        let cent = best(AccumulatorMode::CentDisc);
         let linear = *base_rate.get_or_insert(norm) * p as f64;
         rows.push(vec![
             p.to_string(),

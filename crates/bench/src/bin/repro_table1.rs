@@ -9,9 +9,9 @@
 //! SNPs, precisions are comparable and high, and GNUMAP's wall time
 //! shrinks with processors while the baseline is serial.
 
-use bench::{render_table, WorkloadSpec};
-use gnumap_core::accum::NormAccumulator;
-use gnumap_core::driver::read_split::run_read_split;
+use bench::{render_table, run_registry_driver, WorkloadSpec};
+use engine::DriverRegistry;
+use gnumap_core::accum::AccumulatorMode;
 use gnumap_core::report::score_positions;
 use gnumap_core::GnumapConfig;
 use rand::SeedableRng;
@@ -33,9 +33,15 @@ fn main() {
 
     // GNUMAP-SNP on the read-split driver (the paper ran a 30-node cluster;
     // times are "not normalized by the number of processors").
-    let gnumap =
-        run_read_split::<NormAccumulator>(&w.reference, &w.reads, &GnumapConfig::default(), procs)
-            .expect("call wire intact");
+    let registry = DriverRegistry::standard();
+    let gnumap = run_registry_driver(
+        &registry,
+        "read-split",
+        &w,
+        &GnumapConfig::default(),
+        AccumulatorMode::Norm,
+        procs,
+    );
     let g_acc = gnumap_core::report::score_snp_calls(&gnumap.calls, &w.truth);
     // Simulated parallel wall clock: busiest rank's CPU + comm model (the
     // paper's GNUMAP time was measured on a 30-machine cluster).

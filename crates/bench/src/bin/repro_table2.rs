@@ -12,7 +12,8 @@ use bench::{render_table, WorkloadSpec};
 use genome::index::{IndexConfig, KmerIndex};
 use genome::packed::PackedSeq;
 use gnumap_core::accum::{
-    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
+    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, FixedAccumulator, GenomeAccumulator,
+    NormAccumulator,
 };
 use gnumap_core::footprint::{human_bytes, FootprintModel, CHR_X_BASES, HUMAN_GENOME_BASES};
 
@@ -21,6 +22,7 @@ fn measured_bytes(mode: AccumulatorMode, genome_len: usize, shared: usize) -> us
         AccumulatorMode::Norm => NormAccumulator::new(genome_len).heap_bytes(),
         AccumulatorMode::CharDisc => CharDiscAccumulator::new(genome_len).heap_bytes(),
         AccumulatorMode::CentDisc => CentDiscAccumulator::new(genome_len).heap_bytes(),
+        AccumulatorMode::Fixed => FixedAccumulator::new(genome_len).heap_bytes(),
     };
     acc_bytes + shared
 }

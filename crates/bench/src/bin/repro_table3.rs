@@ -9,25 +9,11 @@
 //! footprint; CENTDISC's footprint is smallest but its accuracy collapses
 //! (precision near zero, far fewer usable true positives).
 
-use bench::{render_table, WorkloadSpec};
-use gnumap_core::accum::{
-    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, NormAccumulator,
-};
-use gnumap_core::pipeline::run_serial_with;
-use gnumap_core::report::{score_snp_calls, AccuracyReport, RunReport};
+use bench::{render_table, run_registry_driver, WorkloadSpec};
+use engine::DriverRegistry;
+use gnumap_core::accum::AccumulatorMode;
+use gnumap_core::report::{score_snp_calls, AccuracyReport};
 use gnumap_core::GnumapConfig;
-
-fn run(mode: AccumulatorMode, w: &bench::Workload, cfg: &GnumapConfig) -> RunReport {
-    match mode {
-        AccumulatorMode::Norm => run_serial_with::<NormAccumulator>(&w.reference, &w.reads, cfg),
-        AccumulatorMode::CharDisc => {
-            run_serial_with::<CharDiscAccumulator>(&w.reference, &w.reads, cfg)
-        }
-        AccumulatorMode::CentDisc => {
-            run_serial_with::<CentDiscAccumulator>(&w.reference, &w.reads, cfg)
-        }
-    }
-}
 
 fn main() {
     let spec = WorkloadSpec::from_env(150_000, 30);
@@ -38,13 +24,14 @@ fn main() {
     let w = spec.build();
     let cfg = GnumapConfig::default();
 
+    let registry = DriverRegistry::standard();
     let mut rows = Vec::new();
     for mode in [
         AccumulatorMode::Norm,
         AccumulatorMode::CharDisc,
         AccumulatorMode::CentDisc,
     ] {
-        let report = run(mode, &w, &cfg);
+        let report = run_registry_driver(&registry, "serial", &w, &cfg, mode, 1);
         let acc: AccuracyReport = score_snp_calls(&report.calls, &w.truth);
         rows.push(vec![
             mode.name().to_string(),

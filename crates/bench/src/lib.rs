@@ -116,6 +116,36 @@ impl WorkloadSpec {
     }
 }
 
+/// Run one registry driver over a workload and return its report.
+///
+/// Every reproduction binary resolves its execution mode through
+/// [`engine::DriverRegistry`] — the same path the CLI and the conformance
+/// matrix use — so a benchmarked configuration is always a configuration
+/// the rest of the workspace can reach. Panics on failure: a bench wants
+/// the number or a loud crash, never a silently skipped row.
+pub fn run_registry_driver(
+    registry: &engine::DriverRegistry,
+    driver: &str,
+    w: &Workload,
+    cfg: &gnumap_core::GnumapConfig,
+    mode: gnumap_core::accum::AccumulatorMode,
+    threads: usize,
+) -> gnumap_core::report::RunReport {
+    let mut ctx = engine::RunContext::new(&w.reference);
+    ctx.config = *cfg;
+    ctx.config.accumulator = mode;
+    ctx.threads = threads;
+    registry
+        .get(driver)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(
+            &ctx,
+            engine::ReadSource::Slice(&w.reads),
+            &mut engine::NullSink,
+        )
+        .unwrap_or_else(|e| panic!("{driver} × {mode:?} failed: {e}"))
+}
+
 /// The processor counts swept by the figure binaries: 1, 2, 4, ... up to
 /// `REPRO_MAX_PROCS` (default 8). The sweep does not depend on the host's
 /// core count: scaling rates come from per-rank CPU time plus the

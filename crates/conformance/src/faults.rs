@@ -6,6 +6,11 @@
 //! reproduces the unfaulted run's accumulator digest and call wire
 //! bit-for-bit.
 //!
+//! All pipeline runs go through [`engine::DriverRegistry`], so the faults
+//! exercise the same code path the CLI and benchmarks use; exec-layer
+//! faults surface as [`EngineError::Exec`] wrapping the original typed
+//! `ExecError`.
+//!
 //! Faults covered:
 //!
 //! * a read source that fails mid-stream (`ExecError::Source`);
@@ -19,11 +24,12 @@
 
 use crate::workload::{build, Workload, WorkloadSpec};
 use crate::Outcome;
-use exec::driver::{run_stream, CheckpointPolicy, StreamConfig};
+use engine::{DriverRegistry, EngineError, NullSink, ReadSource, RunContext};
+use exec::driver::CheckpointPolicy;
 use exec::stream::{MemoryStream, ReadStream};
 use exec::{Checkpoint, ExecError};
 use genome::read::SequencedRead;
-use gnumap_core::accum::FixedAccumulator;
+use gnumap_core::accum::AccumulatorMode;
 use gnumap_core::driver::{decode_calls, encode_calls};
 use gnumap_core::report::RunReport;
 use mpisim::World;
@@ -32,6 +38,7 @@ use std::path::PathBuf;
 /// Run the fault tier.
 pub fn run(fast: bool) -> Outcome {
     let mut out = Outcome::default();
+    let registry = DriverRegistry::standard();
     let wl = build(&WorkloadSpec {
         seed: 0xfa_17,
         genome_len: 1_600,
@@ -41,11 +48,11 @@ pub fn run(fast: bool) -> Outcome {
         repeat_families: 0,
     });
 
-    failing_source(&mut out, &wl);
-    stuttering_source(&mut out, &wl);
-    corrupt_checkpoints(&mut out, &wl);
-    corrupt_wire(&mut out, &wl);
-    kill_resume_sweep(&mut out, &wl, fast);
+    failing_source(&mut out, &registry, &wl);
+    stuttering_source(&mut out, &registry, &wl);
+    corrupt_checkpoints(&mut out, &registry, &wl);
+    corrupt_wire(&mut out, &registry, &wl);
+    kill_resume_sweep(&mut out, &registry, &wl, fast);
     out
 }
 
@@ -70,15 +77,29 @@ impl Drop for Scratch {
     }
 }
 
-fn stream_config() -> StreamConfig {
-    StreamConfig {
-        workers: 2,
-        batch_size: 16,
-        chunk_size: 32,
-        batches_per_worker: 2,
-        shards: 8,
-        ..StreamConfig::default()
-    }
+/// The streaming shape every fault scenario uses.
+fn stream_ctx<'r>(wl: &'r Workload) -> RunContext<'r> {
+    let mut ctx = RunContext::new(&wl.reference);
+    ctx.config = wl.config;
+    ctx.config.accumulator = AccumulatorMode::Fixed;
+    ctx.threads = 2;
+    ctx.batch_size = 16;
+    ctx.chunk_size = 32;
+    ctx.batches_per_worker = 2;
+    ctx.shards = 8;
+    ctx
+}
+
+/// Run the registry's stream driver over a (possibly faulty) source.
+fn run_stream_via(
+    registry: &DriverRegistry,
+    ctx: &RunContext<'_>,
+    stream: &mut dyn ReadStream,
+) -> Result<RunReport, EngineError> {
+    registry
+        .get("stream")
+        .expect("stream driver registered")
+        .run(ctx, ReadSource::Stream(stream), &mut NullSink)
 }
 
 fn call_bits(report: &RunReport) -> Vec<u64> {
@@ -139,16 +160,17 @@ impl ReadStream for StutteringStream {
     }
 }
 
-fn failing_source(out: &mut Outcome, wl: &Workload) {
+fn failing_source(out: &mut Outcome, registry: &DriverRegistry, wl: &Workload) {
     let mut stream = FailingStream {
         inner: MemoryStream::new(wl.reads.clone()),
         delivered: 0,
         fail_after: wl.reads.len() / 2,
     };
-    match run_stream::<FixedAccumulator>(&wl.reference, &mut stream, &wl.config, &stream_config()) {
-        Err(ExecError::Source(msg)) => out.check(msg.contains("injected fault"), || {
-            format!("source error lost the injected message: {msg}")
-        }),
+    match run_stream_via(registry, &stream_ctx(wl), &mut stream) {
+        Err(EngineError::Exec(ExecError::Source(msg))) => out
+            .check(msg.contains("injected fault"), || {
+                format!("source error lost the injected message: {msg}")
+            }),
         other => out.fail(format!(
             "mid-stream source failure should be ExecError::Source, got {:?}",
             other.map(|r| r.reads_processed)
@@ -156,16 +178,15 @@ fn failing_source(out: &mut Outcome, wl: &Workload) {
     }
 }
 
-fn stuttering_source(out: &mut Outcome, wl: &Workload) {
-    let sc = stream_config();
+fn stuttering_source(out: &mut Outcome, registry: &DriverRegistry, wl: &Workload) {
+    let ctx = stream_ctx(wl);
     let mut plain = MemoryStream::new(wl.reads.clone());
-    let baseline = run_stream::<FixedAccumulator>(&wl.reference, &mut plain, &wl.config, &sc)
-        .expect("baseline stream run");
+    let baseline = run_stream_via(registry, &ctx, &mut plain).expect("baseline stream run");
     let mut stutter = StutteringStream {
         inner: MemoryStream::new(wl.reads.clone()),
         step: 0,
     };
-    match run_stream::<FixedAccumulator>(&wl.reference, &mut stutter, &wl.config, &sc) {
+    match run_stream_via(registry, &ctx, &mut stutter) {
         Ok(r) => {
             out.check(
                 r.accumulator_digest == baseline.accumulator_digest
@@ -183,22 +204,24 @@ fn stuttering_source(out: &mut Outcome, wl: &Workload) {
 // ---------------------------------------------------------------------------
 
 /// Resume `wl` from the checkpoint at `path` and classify the outcome.
-fn resume_outcome(wl: &Workload, path: PathBuf) -> Result<RunReport, ExecError> {
+fn resume_outcome(
+    registry: &DriverRegistry,
+    wl: &Workload,
+    path: PathBuf,
+) -> Result<RunReport, EngineError> {
     let mut stream = MemoryStream::new(wl.reads.clone());
-    let sc = StreamConfig {
-        checkpoint: Some(CheckpointPolicy {
-            path,
-            every_batches: 1,
-            resume: true,
-        }),
-        ..stream_config()
-    };
-    run_stream::<FixedAccumulator>(&wl.reference, &mut stream, &wl.config, &sc)
+    let mut ctx = stream_ctx(wl);
+    ctx.checkpoint = Some(CheckpointPolicy {
+        path,
+        every_batches: 1,
+        resume: true,
+    });
+    run_stream_via(registry, &ctx, &mut stream)
 }
 
-fn expect_checkpoint_error(out: &mut Outcome, what: &str, result: Result<RunReport, ExecError>) {
+fn expect_checkpoint_error(out: &mut Outcome, what: &str, result: Result<RunReport, EngineError>) {
     match result {
-        Err(ExecError::Checkpoint(_)) => out.check(true, String::new),
+        Err(EngineError::Exec(ExecError::Checkpoint(_))) => out.check(true, String::new),
         other => out.fail(format!(
             "{what} should resume with ExecError::Checkpoint, got {:?}",
             other.map(|r| r.reads_processed)
@@ -206,34 +229,33 @@ fn expect_checkpoint_error(out: &mut Outcome, what: &str, result: Result<RunRepo
     }
 }
 
-fn corrupt_checkpoints(out: &mut Outcome, wl: &Workload) {
+fn corrupt_checkpoints(out: &mut Outcome, registry: &DriverRegistry, wl: &Workload) {
     let scratch = Scratch::new("ckpt");
 
     // A genuine checkpoint to mutilate: produced by a killed run.
     let genuine = scratch.file("genuine.ckpt");
-    let killed = run_stream::<FixedAccumulator>(
-        &wl.reference,
-        &mut MemoryStream::new(wl.reads.clone()),
-        &wl.config,
-        &StreamConfig {
-            checkpoint: Some(CheckpointPolicy {
-                path: genuine.clone(),
-                every_batches: 1,
-                resume: false,
-            }),
-            abort_after_batches: Some(1),
-            ..stream_config()
-        },
-    );
-    out.check(matches!(killed, Err(ExecError::Aborted { .. })), || {
-        format!("kill hook should yield ExecError::Aborted, got {killed:?}")
+    let mut ctx = stream_ctx(wl);
+    ctx.checkpoint = Some(CheckpointPolicy {
+        path: genuine.clone(),
+        every_batches: 1,
+        resume: false,
     });
+    ctx.abort_after_batches = Some(1);
+    let killed = run_stream_via(registry, &ctx, &mut MemoryStream::new(wl.reads.clone()));
+    out.check(
+        matches!(killed, Err(EngineError::Exec(ExecError::Aborted { .. }))),
+        || format!("kill hook should yield ExecError::Aborted, got {killed:?}"),
+    );
     let bytes = std::fs::read(&genuine).expect("killed run left a checkpoint");
 
     // Truncation (a torn copy, not a torn write — those are atomic).
     let truncated = scratch.file("truncated.ckpt");
     std::fs::write(&truncated, &bytes[..bytes.len() - 9]).unwrap();
-    expect_checkpoint_error(out, "truncated checkpoint", resume_outcome(wl, truncated));
+    expect_checkpoint_error(
+        out,
+        "truncated checkpoint",
+        resume_outcome(registry, wl, truncated),
+    );
 
     // A flipped bit deep in the payload.
     let flipped = scratch.file("flipped.ckpt");
@@ -241,12 +263,16 @@ fn corrupt_checkpoints(out: &mut Outcome, wl: &Workload) {
     let mid = flipped_bytes.len() / 2;
     flipped_bytes[mid] ^= 0x10;
     std::fs::write(&flipped, &flipped_bytes).unwrap();
-    expect_checkpoint_error(out, "bit-flipped checkpoint", resume_outcome(wl, flipped));
+    expect_checkpoint_error(
+        out,
+        "bit-flipped checkpoint",
+        resume_outcome(registry, wl, flipped),
+    );
 
     // A file that was never a checkpoint.
     let foreign = scratch.file("foreign.ckpt");
     std::fs::write(&foreign, b"-- lock file, do not edit --").unwrap();
-    expect_checkpoint_error(out, "foreign file", resume_outcome(wl, foreign));
+    expect_checkpoint_error(out, "foreign file", resume_outcome(registry, wl, foreign));
 
     // A valid checkpoint for a different reference length.
     let mismatched = scratch.file("mismatched.ckpt");
@@ -262,7 +288,7 @@ fn corrupt_checkpoints(out: &mut Outcome, wl: &Workload) {
     expect_checkpoint_error(
         out,
         "wrong-reference checkpoint",
-        resume_outcome(wl, mismatched),
+        resume_outcome(registry, wl, mismatched),
     );
 }
 
@@ -270,12 +296,13 @@ fn corrupt_checkpoints(out: &mut Outcome, wl: &Workload) {
 // Wire corruption in MPI transit
 // ---------------------------------------------------------------------------
 
-fn corrupt_wire(out: &mut Outcome, wl: &Workload) {
-    let serial = gnumap_core::pipeline::run_serial_with::<FixedAccumulator>(
-        &wl.reference,
-        &wl.reads,
-        &wl.config,
-    );
+fn corrupt_wire(out: &mut Outcome, registry: &DriverRegistry, wl: &Workload) {
+    let ctx = stream_ctx(wl);
+    let serial = registry
+        .get("serial")
+        .expect("serial driver registered")
+        .run(&ctx, ReadSource::Slice(&wl.reads), &mut NullSink)
+        .expect("serial reference run");
     let wire = encode_calls(&serial.calls);
 
     // Ship a truncated wire rank 0 → rank 1 through the simulated
@@ -323,33 +350,30 @@ fn corrupt_wire(out: &mut Outcome, wl: &Workload) {
 // Kill-at-window-k / resume sweep
 // ---------------------------------------------------------------------------
 
-fn kill_resume_sweep(out: &mut Outcome, wl: &Workload, fast: bool) {
+fn kill_resume_sweep(out: &mut Outcome, registry: &DriverRegistry, wl: &Workload, fast: bool) {
     let scratch = Scratch::new("kill");
-    let sc = stream_config();
+    let ctx = stream_ctx(wl);
     let mut plain = MemoryStream::new(wl.reads.clone());
-    let unfaulted = run_stream::<FixedAccumulator>(&wl.reference, &mut plain, &wl.config, &sc)
-        .expect("unfaulted run");
+    let unfaulted = run_stream_via(registry, &ctx, &mut plain).expect("unfaulted run");
 
-    let total_batches = wl.reads.len().div_ceil(sc.batch_size);
+    let total_batches = wl.reads.len().div_ceil(ctx.batch_size);
     let step = if fast { 3 } else { 1 };
     for k in (1..=total_batches).step_by(step) {
         let path = scratch.file(&format!("kill-{k}.ckpt"));
-        let killed = run_stream::<FixedAccumulator>(
-            &wl.reference,
+        let mut kill_ctx = stream_ctx(wl);
+        kill_ctx.checkpoint = Some(CheckpointPolicy {
+            path: path.clone(),
+            every_batches: 1,
+            resume: false,
+        });
+        kill_ctx.abort_after_batches = Some(k);
+        let killed = run_stream_via(
+            registry,
+            &kill_ctx,
             &mut MemoryStream::new(wl.reads.clone()),
-            &wl.config,
-            &StreamConfig {
-                checkpoint: Some(CheckpointPolicy {
-                    path: path.clone(),
-                    every_batches: 1,
-                    resume: false,
-                }),
-                abort_after_batches: Some(k),
-                ..sc.clone()
-            },
         );
         match killed {
-            Err(ExecError::Aborted { cursor }) => {
+            Err(EngineError::Exec(ExecError::Aborted { cursor })) => {
                 out.check(cursor > 0 && cursor <= wl.reads.len(), || {
                     format!("kill at batch {k}: implausible cursor {cursor}")
                 });
@@ -367,7 +391,7 @@ fn kill_resume_sweep(out: &mut Outcome, wl: &Workload, fast: bool) {
             }
         }
 
-        let resumed = resume_outcome(wl, path);
+        let resumed = resume_outcome(registry, wl, path);
         match resumed {
             Ok(r) => out.check(
                 r.accumulator_digest == unfaulted.accumulator_digest

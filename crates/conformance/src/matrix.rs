@@ -1,9 +1,14 @@
 //! The driver-matrix differential runner.
 //!
 //! One seeded workload at a time, the serial pipeline is the reference and
-//! every parallel decomposition — rayon, read-split MPI, genome-split MPI,
-//! read-split ring, the streaming engine, and the loopback batching
-//! server — must reproduce it *exactly*:
+//! **every driver in the [`engine::DriverRegistry`]** must reproduce it.
+//! The rows are not hand-listed: the matrix iterates the registry, so a
+//! newly registered execution mode is pulled into the differential sweep
+//! automatically — and a driver the matrix does not know how to shape
+//! fails the tier outright rather than silently escaping coverage.
+//!
+//! Bit-exact rows (everything funnelling through `FixedAccumulator`) must
+//! match the serial run on:
 //!
 //! * the same `FixedAccumulator` digest (an XOR of per-position avalanche
 //!   hashes over the raw count bits, so one flipped ULP anywhere in the
@@ -12,23 +17,19 @@
 //!   `f64::to_bits` level, stricter than `PartialEq` on floats);
 //! * the same mapped-read count.
 //!
-//! Bit-identity is achievable because every driver funnels deposits
+//! Bit-identity is achievable because every such driver funnels deposits
 //! through the fixed-point accumulator, whose integer adds commute; the
 //! matrix exists to catch any driver that re-orders *float* arithmetic
-//! (normalisation, margin hand-off, reduction trees) instead.
+//! (normalisation, margin hand-off, reduction trees) instead. The one
+//! float-pinned driver (`read-split-ring`) is held to semantic agreement
+//! with a serial norm-accumulator run instead.
 
 use crate::workload::{build, Workload, WorkloadSpec};
 use crate::Outcome;
-use gnumap_core::accum::{FixedAccumulator, NormAccumulator};
+use engine::{Driver, DriverRegistry, EngineError, NullSink, ReadSource, RunContext};
+use gnumap_core::accum::AccumulatorMode;
 use gnumap_core::driver::encode_calls;
-use gnumap_core::driver::genome_split::run_genome_split;
-use gnumap_core::driver::rayon_driver::run_rayon;
-use gnumap_core::driver::read_split::{run_read_split, run_read_split_ring};
-use gnumap_core::pipeline::run_serial_with;
 use gnumap_core::report::RunReport;
-
-use exec::driver::{run_stream, StreamConfig};
-use exec::stream::MemoryStream;
 
 /// Workloads in the sweep (the acceptance floor is 20).
 const FULL_WORKLOADS: usize = 20;
@@ -37,17 +38,40 @@ const FAST_WORKLOADS: usize = 6;
 /// Run the matrix tier.
 pub fn run(fast: bool) -> Outcome {
     let mut out = Outcome::default();
+    let registry = DriverRegistry::standard();
     let workloads = if fast { FAST_WORKLOADS } else { FULL_WORKLOADS };
     for i in 0..workloads {
         let spec = WorkloadSpec::matrix(i);
         let wl = build(&spec);
-        let reference = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
+        let mut ctx = RunContext::new(&wl.reference);
+        ctx.config = wl.config;
+        ctx.config.accumulator = AccumulatorMode::Fixed;
+        ctx.seed = spec.seed;
+        let reference = match run_driver(&registry, "serial", &ctx, &wl) {
+            Ok(r) => r,
+            Err(e) => {
+                out.fail(format!("workload {i}: serial reference failed: {e}"));
+                continue;
+            }
+        };
         out.check(reference.accumulator_digest.is_some(), || {
             format!("workload {i}: serial driver produced no accumulator digest")
         });
-        compare_drivers(&mut out, i, &wl, &reference, fast);
+        compare_drivers(&mut out, i, &registry, &wl, &reference, fast);
     }
     out
+}
+
+/// Resolve `name` in the registry and run it over the workload's reads.
+fn run_driver(
+    registry: &DriverRegistry,
+    name: &str,
+    ctx: &RunContext<'_>,
+    wl: &Workload,
+) -> Result<RunReport, EngineError> {
+    registry
+        .get(name)?
+        .run(ctx, ReadSource::Slice(&wl.reads), &mut NullSink)
 }
 
 /// Wire form of a report's calls, compared bit-for-bit.
@@ -141,9 +165,15 @@ fn semantically_equal(
     }
 }
 
+/// How one registry driver is shaped and judged for workload `i`.
+///
+/// Every driver the registry knows must resolve to a row here; an
+/// unmatched name is recorded as a tier failure so that registering a new
+/// execution mode without extending the matrix cannot pass verification.
 fn compare_drivers(
     out: &mut Outcome,
     workload: usize,
+    registry: &DriverRegistry,
     wl: &Workload,
     reference: &RunReport,
     fast: bool,
@@ -153,146 +183,139 @@ fn compare_drivers(
     let threads = [2, 3, 4][workload % 3];
     let ranks = [2, 3, 5][workload % 3];
 
-    let rayon = run_rayon::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, threads);
-    assert_identical(
-        out,
-        workload,
-        &format!("rayon(threads {threads})"),
-        reference,
-        &rayon,
-    );
+    for driver in registry.all() {
+        let mut ctx = RunContext::new(&wl.reference);
+        ctx.config = wl.config;
+        ctx.config.accumulator = AccumulatorMode::Fixed;
+        ctx.seed = WorkloadSpec::matrix(workload).seed;
 
-    match run_read_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, ranks) {
-        Ok(r) => assert_identical(
-            out,
-            workload,
-            &format!("read-split(ranks {ranks})"),
-            reference,
-            &r,
-        ),
-        Err(e) => out.fail(format!("workload {workload}: read-split failed: {e}")),
-    }
-
-    match run_genome_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, ranks) {
-        Ok(r) => assert_identical(
-            out,
-            workload,
-            &format!("genome-split(ranks {ranks})"),
-            reference,
-            &r,
-        ),
-        Err(e) => out.fail(format!("workload {workload}: genome-split failed: {e}")),
-    }
-
-    // The ring variant is pinned to the float norm accumulator internally,
-    // so it lives in a different numeric domain: positions whose total
-    // mass sits exactly on the `min_total` testing threshold can be
-    // included or excluded depending on quantization, and summation order
-    // perturbs low bits. Its contract is therefore semantic agreement with
-    // a *serial norm-accumulator* run: the same sites and alleles, with
-    // statistics equal up to float reordering.
-    if !fast {
-        let norm_ref = run_serial_with::<NormAccumulator>(&wl.reference, &wl.reads, &wl.config);
-        match run_read_split_ring(&wl.reference, &wl.reads, &wl.config, ranks) {
-            Ok(r) => {
-                let verdict =
-                    semantically_equal(&r.calls, &norm_ref.calls, wl.config.calling.min_total);
-                out.check(verdict.is_none(), || {
-                    format!(
-                        "workload {workload}: read-split-ring(ranks {ranks}) calls \
-                         diverge from the serial norm run: {}",
-                        verdict.unwrap_or_default()
-                    )
-                });
+        match driver.name() {
+            // The reference row itself.
+            "serial" => {}
+            "rayon" => {
+                ctx.threads = threads;
+                run_and_assert(
+                    out,
+                    workload,
+                    driver,
+                    &format!("rayon(threads {threads})"),
+                    &ctx,
+                    wl,
+                    reference,
+                );
             }
-            Err(e) => out.fail(format!("workload {workload}: read-split-ring failed: {e}")),
+            "read-split" | "genome-split" => {
+                ctx.threads = ranks;
+                run_and_assert(
+                    out,
+                    workload,
+                    driver,
+                    &format!("{}(ranks {ranks})", driver.name()),
+                    &ctx,
+                    wl,
+                    reference,
+                );
+            }
+            // The ring variant is pinned to the float norm accumulator
+            // internally, so it lives in a different numeric domain:
+            // positions whose total mass sits exactly on the `min_total`
+            // testing threshold can be included or excluded depending on
+            // quantization, and summation order perturbs low bits. Its
+            // contract is therefore semantic agreement with a *serial
+            // norm-accumulator* run: the same sites and alleles, with
+            // statistics equal up to float reordering.
+            "read-split-ring" => {
+                if fast {
+                    continue;
+                }
+                ctx.config.accumulator = AccumulatorMode::Norm;
+                ctx.threads = ranks;
+                let norm_ref = match run_driver(registry, "serial", &ctx, wl) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        out.fail(format!("workload {workload}: serial norm run failed: {e}"));
+                        continue;
+                    }
+                };
+                match driver.run(&ctx, ReadSource::Slice(&wl.reads), &mut NullSink) {
+                    Ok(r) => {
+                        let verdict = semantically_equal(
+                            &r.calls,
+                            &norm_ref.calls,
+                            wl.config.calling.min_total,
+                        );
+                        out.check(verdict.is_none(), || {
+                            format!(
+                                "workload {workload}: read-split-ring(ranks {ranks}) calls \
+                                 diverge from the serial norm run: {}",
+                                verdict.unwrap_or_default()
+                            )
+                        });
+                    }
+                    Err(e) => out.fail(format!("workload {workload}: read-split-ring failed: {e}")),
+                }
+            }
+            "stream" => {
+                ctx.threads = [1, 2, 4][workload % 3];
+                ctx.batch_size = [16, 32, 64][workload % 3];
+                ctx.chunk_size = [64, 128][workload % 2];
+                ctx.batches_per_worker = 1 + workload % 3;
+                ctx.shards = [4, 16, 32][workload % 3];
+                run_and_assert(
+                    out,
+                    workload,
+                    driver,
+                    &format!(
+                        "stream(workers {}, batch {}, shards {})",
+                        ctx.threads, ctx.batch_size, ctx.shards
+                    ),
+                    &ctx,
+                    wl,
+                    reference,
+                );
+            }
+            // The serving layer: a loopback TCP round trip through the
+            // batching daemon must also be bit-identical. One workload
+            // suffices — the server reuses the per-session sharded
+            // fixed-point accumulator, so this row guards the wire +
+            // session plumbing, not the arithmetic.
+            "server" => {
+                if workload != 0 {
+                    continue;
+                }
+                ctx.threads = 2;
+                ctx.batch_size = 16;
+                ctx.chunk_size = 32;
+                run_and_assert(
+                    out,
+                    workload,
+                    driver,
+                    "server(loopback, workers 2, batch 16)",
+                    &ctx,
+                    wl,
+                    reference,
+                );
+            }
+            other => out.fail(format!(
+                "workload {workload}: registry driver {other:?} has no matrix row — \
+                 extend compare_drivers before registering new execution modes"
+            )),
         }
-    }
-
-    let sc = StreamConfig {
-        workers: [1, 2, 4][workload % 3],
-        batch_size: [16, 32, 64][workload % 3],
-        chunk_size: [64, 128][workload % 2],
-        batches_per_worker: 1 + workload % 3,
-        shards: [4, 16, 32][workload % 3],
-        ..StreamConfig::default()
-    };
-    let mut stream = MemoryStream::new(wl.reads.clone());
-    match run_stream::<FixedAccumulator>(&wl.reference, &mut stream, &wl.config, &sc) {
-        Ok(r) => assert_identical(
-            out,
-            workload,
-            &format!(
-                "stream(workers {}, batch {}, shards {})",
-                sc.workers, sc.batch_size, sc.shards
-            ),
-            reference,
-            &r,
-        ),
-        Err(e) => out.fail(format!("workload {workload}: stream driver failed: {e}")),
-    }
-
-    // The serving layer: a loopback TCP round trip through the batching
-    // daemon must also be bit-identical. One workload suffices — the
-    // server reuses the per-session sharded fixed-point accumulator, so
-    // this row guards the wire + session plumbing, not the arithmetic.
-    if workload == 0 {
-        compare_server(out, workload, wl, reference);
     }
 }
 
-/// The `server` row: run the workload through a real loopback daemon.
-fn compare_server(out: &mut Outcome, workload: usize, wl: &Workload, reference: &RunReport) {
-    let cfg = server::ServerConfig {
-        workers: 2,
-        batch_size: 16,
-        ..Default::default()
-    };
-    let handle = match server::start(wl.reference.clone(), wl.config, cfg, "127.0.0.1:0") {
-        Ok(h) => h,
-        Err(e) => {
-            out.fail(format!("workload {workload}: server failed to start: {e}"));
-            return;
-        }
-    };
-    let result = (|| -> Result<server::CallResult, String> {
-        let mut client = server::Client::connect(handle.addr()).map_err(|e| e.to_string())?;
-        let session = client
-            .open_session(wl.config.calling.into())
-            .map_err(|e| e.to_string())?;
-        for chunk in wl.reads.chunks(32) {
-            client
-                .submit_reads(session, chunk)
-                .map_err(|e| e.to_string())?;
-        }
-        client.finalize(session, 120_000).map_err(|e| e.to_string())
-    })();
-    handle.shutdown();
-    handle.join();
-    match result {
-        Ok(r) => {
-            let report = RunReport {
-                calls: r.calls,
-                reads_processed: r.reads_processed as usize,
-                reads_mapped: r.reads_mapped as usize,
-                elapsed_secs: 0.0,
-                accumulator_bytes: 0,
-                traffic: None,
-                rank_cpu_secs: Vec::new(),
-                stream: None,
-                accumulator_digest: Some(r.digest),
-            };
-            assert_identical(
-                out,
-                workload,
-                "server(loopback, workers 2, batch 16)",
-                reference,
-                &report,
-            );
-        }
-        Err(e) => out.fail(format!(
-            "workload {workload}: server round trip failed: {e}"
-        )),
+fn run_and_assert(
+    out: &mut Outcome,
+    workload: usize,
+    driver: &dyn Driver,
+    label: &str,
+    ctx: &RunContext<'_>,
+    wl: &Workload,
+    reference: &RunReport,
+) {
+    match driver.run(ctx, ReadSource::Slice(&wl.reads), &mut NullSink) {
+        Ok(r) => assert_identical(out, workload, label, reference, &r),
+        Err(e) => out.fail(format!("workload {workload}: {label} failed: {e}")),
     }
 }
 
@@ -305,5 +328,53 @@ mod tests {
         let out = run(true);
         assert!(out.checks > 30, "expected a real sweep, got {}", out.checks);
         assert!(out.failures.is_empty(), "failures: {:#?}", out.failures);
+    }
+
+    /// Registering a driver the matrix does not know fails the tier
+    /// instead of silently escaping differential coverage.
+    #[test]
+    fn unknown_registry_drivers_fail_the_matrix() {
+        struct Rogue;
+        impl Driver for Rogue {
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+            fn description(&self) -> &'static str {
+                "a driver without a matrix row"
+            }
+            fn capabilities(&self) -> engine::Capabilities {
+                engine::Capabilities {
+                    accumulators: &[AccumulatorMode::Fixed],
+                    parallel: false,
+                    streaming: false,
+                    checkpointing: false,
+                    bit_exact_parallel: true,
+                }
+            }
+            fn run(
+                &self,
+                _ctx: &RunContext<'_>,
+                _source: ReadSource<'_>,
+                _sink: &mut dyn engine::CallSink,
+            ) -> Result<RunReport, EngineError> {
+                unreachable!("the matrix must fail before running a rowless driver")
+            }
+        }
+
+        let mut registry = DriverRegistry::standard();
+        registry.register(Box::new(Rogue));
+        let wl = build(&WorkloadSpec::matrix(0));
+        let mut ctx = RunContext::new(&wl.reference);
+        ctx.config = wl.config;
+        ctx.config.accumulator = AccumulatorMode::Fixed;
+        let reference = run_driver(&registry, "serial", &ctx, &wl).unwrap();
+
+        let mut out = Outcome::default();
+        compare_drivers(&mut out, 0, &registry, &wl, &reference, true);
+        assert!(
+            out.failures.iter().any(|f| f.contains("no matrix row")),
+            "failures: {:#?}",
+            out.failures
+        );
     }
 }

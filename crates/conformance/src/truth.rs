@@ -9,8 +9,8 @@
 
 use crate::workload::{build, WorkloadSpec};
 use crate::Outcome;
-use gnumap_core::accum::FixedAccumulator;
-use gnumap_core::pipeline::run_serial_with;
+use engine::{DriverRegistry, NullSink, ReadSource, RunContext};
+use gnumap_core::accum::AccumulatorMode;
 use gnumap_core::report::score_snp_calls;
 
 /// Accuracy floors. The seed corpus holds ≥ 7/8 sensitivity with ≤ 1
@@ -42,9 +42,18 @@ fn truth_specs(fast: bool) -> Vec<WorkloadSpec> {
 /// Run the truth tier.
 pub fn run(fast: bool) -> Outcome {
     let mut out = Outcome::default();
+    let registry = DriverRegistry::standard();
     for spec in truth_specs(fast) {
         let wl = build(&spec);
-        let report = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
+        let mut ctx = RunContext::new(&wl.reference);
+        ctx.config = wl.config;
+        ctx.config.accumulator = AccumulatorMode::Fixed;
+        ctx.seed = spec.seed;
+        let report = registry
+            .get("serial")
+            .expect("serial driver registered")
+            .run(&ctx, ReadSource::Slice(&wl.reads), &mut NullSink)
+            .expect("serial truth run");
         let accuracy = score_snp_calls(&report.calls, &wl.truth);
         let sensitivity = accuracy.sensitivity();
         let precision = accuracy.precision();

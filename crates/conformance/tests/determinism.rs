@@ -5,17 +5,13 @@
 //! here each driver is compared against *itself* across process-internal
 //! re-runs, catching nondeterminism that happens to be self-consistent
 //! across drivers (e.g. a HashMap iteration order that every driver
-//! shares).
+//! shares). The drivers come from [`engine::DriverRegistry`], so a newly
+//! registered execution mode is swept automatically.
 
 use conformance::workload::{build, WorkloadSpec};
-use exec::driver::{run_stream, StreamConfig};
-use exec::stream::MemoryStream;
-use gnumap_core::accum::FixedAccumulator;
+use engine::{Driver, DriverRegistry, NullSink, ReadSource, RunContext};
+use gnumap_core::accum::AccumulatorMode;
 use gnumap_core::driver::encode_calls;
-use gnumap_core::driver::genome_split::run_genome_split;
-use gnumap_core::driver::rayon_driver::run_rayon;
-use gnumap_core::driver::read_split::run_read_split;
-use gnumap_core::pipeline::run_serial_with;
 use gnumap_core::report::RunReport;
 
 fn spec() -> WorkloadSpec {
@@ -54,52 +50,40 @@ fn workload_build_is_deterministic() {
     }
 }
 
+/// Every registry driver, run twice over the same seeded workload with
+/// the same context, reproduces itself bit-for-bit.
 #[test]
-fn serial_runs_twice_identically() {
+fn every_registry_driver_runs_twice_identically() {
     let wl = build(&spec());
-    let a = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
-    let b = run_serial_with::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config);
-    assert_eq!(fingerprint(&a), fingerprint(&b));
-}
+    let registry = DriverRegistry::standard();
+    for driver in registry.all() {
+        let mut ctx = RunContext::new(&wl.reference);
+        ctx.config = wl.config;
+        // Drivers pinned to a single accumulator (the ring reduction) run
+        // it; everything else runs fixed point.
+        ctx.config.accumulator = if driver.capabilities().supports(AccumulatorMode::Fixed) {
+            AccumulatorMode::Fixed
+        } else {
+            driver.capabilities().accumulators[0]
+        };
+        ctx.seed = spec().seed;
+        ctx.threads = 3;
+        ctx.batch_size = 16;
+        ctx.chunk_size = 48;
+        ctx.batches_per_worker = 2;
+        ctx.shards = 8;
 
-#[test]
-fn rayon_runs_twice_identically() {
-    let wl = build(&spec());
-    let a = run_rayon::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 4);
-    let b = run_rayon::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 4);
-    assert_eq!(fingerprint(&a), fingerprint(&b));
-}
-
-#[test]
-fn read_split_runs_twice_identically() {
-    let wl = build(&spec());
-    let a = run_read_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
-    let b = run_read_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
-    assert_eq!(fingerprint(&a), fingerprint(&b));
-}
-
-#[test]
-fn genome_split_runs_twice_identically() {
-    let wl = build(&spec());
-    let a = run_genome_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
-    let b = run_genome_split::<FixedAccumulator>(&wl.reference, &wl.reads, &wl.config, 3).unwrap();
-    assert_eq!(fingerprint(&a), fingerprint(&b));
-}
-
-#[test]
-fn stream_runs_twice_identically() {
-    let wl = build(&spec());
-    let sc = StreamConfig {
-        workers: 3,
-        batch_size: 16,
-        chunk_size: 48,
-        batches_per_worker: 2,
-        shards: 8,
-        ..StreamConfig::default()
-    };
-    let mut sa = MemoryStream::new(wl.reads.clone());
-    let a = run_stream::<FixedAccumulator>(&wl.reference, &mut sa, &wl.config, &sc).unwrap();
-    let mut sb = MemoryStream::new(wl.reads.clone());
-    let b = run_stream::<FixedAccumulator>(&wl.reference, &mut sb, &wl.config, &sc).unwrap();
-    assert_eq!(fingerprint(&a), fingerprint(&b));
+        let run = |d: &dyn Driver| {
+            d.run(&ctx, ReadSource::Slice(&wl.reads), &mut NullSink)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", d.name()))
+        };
+        let a = run(driver);
+        let b = run(driver);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{} is not self-deterministic",
+            driver.name()
+        );
+    }
 }

@@ -128,6 +128,9 @@ pub enum AccumulatorMode {
     CharDisc,
     /// Centroid discretization.
     CentDisc,
+    /// Fixed-point `u64` quanta — integer adds commute, so every parallel
+    /// decomposition is bit-identical to serial (the conformance domain).
+    Fixed,
 }
 
 impl AccumulatorMode {
@@ -137,6 +140,7 @@ impl AccumulatorMode {
             AccumulatorMode::Norm => "NORM",
             AccumulatorMode::CharDisc => "CHARDISC",
             AccumulatorMode::CentDisc => "CENTDISC",
+            AccumulatorMode::Fixed => "FIXED",
         }
     }
 
@@ -147,6 +151,7 @@ impl AccumulatorMode {
             AccumulatorMode::Norm => NUM_SYMBOLS * std::mem::size_of::<f32>(),
             AccumulatorMode::CharDisc => std::mem::size_of::<f32>() + NUM_SYMBOLS,
             AccumulatorMode::CentDisc => std::mem::size_of::<f32>() + 1,
+            AccumulatorMode::Fixed => NUM_SYMBOLS * std::mem::size_of::<u64>(),
         }
     }
 }
@@ -220,6 +225,8 @@ mod tests {
         assert_eq!(AccumulatorMode::Norm.bytes_per_base(), 20);
         assert_eq!(AccumulatorMode::CharDisc.bytes_per_base(), 9);
         assert_eq!(AccumulatorMode::CentDisc.bytes_per_base(), 5);
+        assert_eq!(AccumulatorMode::Fixed.bytes_per_base(), 40);
+        assert_eq!(AccumulatorMode::Fixed.name(), "FIXED");
         assert_eq!(AccumulatorMode::CentDisc.to_string(), "CENTDISC");
     }
 }

@@ -34,6 +34,7 @@ use crate::accum::GenomeAccumulator;
 use crate::config::GnumapConfig;
 use crate::driver::{decode_calls, encode_calls, CallWireError};
 use crate::mapping::MappingEngine;
+use crate::observe::{Event, Observer, Stage, StageTimer};
 use crate::report::RunReport;
 use crate::snpcall::call_snps_with_offset;
 use genome::read::SequencedRead;
@@ -60,7 +61,26 @@ pub fn run_genome_split<A: GenomeAccumulator>(
     config: &GnumapConfig,
     ranks: usize,
 ) -> Result<RunReport, CallWireError> {
+    run_genome_split_observed::<A>(reference, reads, config, ranks, &Observer::disabled())
+}
+
+/// [`run_genome_split`] with structured observability: one
+/// [`Event::Batch`] per rank (every rank scans all reads; owned
+/// candidates and deposited columns are counted per shard, and the exact
+/// global mapped count is carried by rank 0's event), stage timings taken
+/// on rank 0.
+pub fn run_genome_split_observed<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    ranks: usize,
+    observer: &Observer,
+) -> Result<RunReport, CallWireError> {
     assert!(ranks >= 1, "need at least one rank");
+    observer.emit(|| Event::RunStart {
+        driver: "genome-split".into(),
+        accumulator: config.accumulator.name().into(),
+    });
     let start = Instant::now();
     let world = World::new(ranks);
     let shards = Region::shards(reference.len(), ranks);
@@ -70,15 +90,26 @@ pub fn run_genome_split<A: GenomeAccumulator>(
     let margin = max_read_len + 2 * config.mapping.window_pad;
 
     let (mut results, world_report) = world.run_with_report(|rank| {
+        let root = rank.id() == 0;
+        let stage = |s: Stage| root.then(|| StageTimer::start(observer, s));
+        let finish = |t: Option<StageTimer>| {
+            if let Some(t) = t {
+                t.finish(observer);
+            }
+        };
         let shard = shards[rank.id()];
         let slice_start = shard.start;
         let slice_end = (shard.end + margin).min(reference.len());
         let slice = reference.window(slice_start, slice_end);
 
         // Index only the local slice — the per-rank memory saving.
+        let timer = stage(Stage::Index);
         let engine = MappingEngine::new(&slice, config.mapping);
+        finish(timer);
         let mut acc = A::new(slice.len());
         let mut mapped_here = 0u64;
+        let (mut candidates_here, mut columns_here) = (0u64, 0u64);
+        let map_timer = stage(Stage::Map);
         // One scratch arena per rank, reused across every batch. Owned
         // alignments are only materialised for placements this shard keeps
         // (they must outlive the allreduce below), so out-of-shard
@@ -166,11 +197,13 @@ pub fn run_genome_split<A: GenomeAccumulator>(
                     mapped_here += 1;
                 }
                 for aln in alignments {
+                    candidates_here += 1;
                     let key = (
                         aln.reverse as u64,
                         (slice_start + aln.placement_start) as u64,
                     );
                     if let Ok(idx) = kept.binary_search_by(|t| (t.0, t.1).cmp(&key)) {
+                        columns_here += aln.columns.len() as u64;
                         crate::pipeline::deposit(
                             &mut acc,
                             aln.window_start,
@@ -181,8 +214,17 @@ pub fn run_genome_split<A: GenomeAccumulator>(
                 }
             }
         }
+        finish(map_timer);
+        observer.emit(|| Event::Batch {
+            worker: rank.id() as u64,
+            reads: reads.len() as u64,
+            mapped: mapped_here,
+            candidates: candidates_here,
+            deposited_columns: columns_here,
+        });
 
         // Hand the margin's evidence to the rank that owns it.
+        let reduce_timer = stage(Stage::Reduce);
         if rank.id() + 1 < rank.size() {
             let own_len = shard.len();
             let mut margin_wire: Vec<f64> = Vec::new();
@@ -214,7 +256,10 @@ pub fn run_genome_split<A: GenomeAccumulator>(
                 shard_acc.add(idx, &c);
             }
         }
+        finish(reduce_timer);
+        let call_timer = stage(Stage::Call);
         let calls = call_snps_with_offset(&shard_acc, reference, slice_start, &config.calling);
+        finish(call_timer);
         // Shards cover disjoint global ranges exactly once, so XORing the
         // per-shard digests (each keyed by global position) reproduces the
         // digest a serial full-genome accumulator would report.
@@ -249,11 +294,19 @@ pub fn run_genome_split<A: GenomeAccumulator>(
 
     let (call_wire, mapped_total, acc_bytes, digest) =
         results.swap_remove(0).expect("rank 0 returns the result")?;
+    let calls = decode_calls(&call_wire)?;
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    observer.emit(|| Event::RunEnd {
+        reads_processed: reads.len() as u64,
+        reads_mapped: mapped_total,
+        calls: calls.len() as u64,
+        wall_secs: elapsed_secs,
+    });
     Ok(RunReport {
-        calls: decode_calls(&call_wire)?,
+        calls,
         reads_processed: reads.len(),
         reads_mapped: mapped_total as usize,
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs,
         accumulator_bytes: acc_bytes,
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,

@@ -10,7 +10,8 @@
 use crate::accum::GenomeAccumulator;
 use crate::config::GnumapConfig;
 use crate::mapping::{AlignScratch, MappingEngine};
-use crate::pipeline::accumulate_reads_with;
+use crate::observe::{Event, Observer, Stage, StageTimer};
+use crate::pipeline::accumulate_reads_observed;
 use crate::report::RunReport;
 use crate::snpcall::call_snps;
 use genome::read::SequencedRead;
@@ -25,9 +26,27 @@ pub fn run_rayon<A: GenomeAccumulator>(
     config: &GnumapConfig,
     threads: usize,
 ) -> RunReport {
+    run_rayon_observed::<A>(reference, reads, config, threads, &Observer::disabled())
+}
+
+/// [`run_rayon`] with structured observability: stage timings plus one
+/// [`Event::Batch`] stream per worker chunk.
+pub fn run_rayon_observed<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    threads: usize,
+    observer: &Observer,
+) -> RunReport {
     assert!(threads >= 1, "need at least one thread");
+    observer.emit(|| Event::RunStart {
+        driver: "rayon".into(),
+        accumulator: config.accumulator.name().into(),
+    });
     let start = Instant::now();
+    let timer = StageTimer::start(observer, Stage::Index);
     let engine = MappingEngine::new(reference, config.mapping);
+    timer.finish(observer);
 
     // One contiguous chunk per worker keeps the reduction order defined.
     let chunk_size = reads.len().div_ceil(threads).max(1);
@@ -36,30 +55,50 @@ pub fn run_rayon<A: GenomeAccumulator>(
         .build()
         .expect("thread pool");
 
+    let timer = StageTimer::start(observer, Stage::Map);
     let partials: Vec<(A, usize)> = pool.install(|| {
         reads
             .par_chunks(chunk_size)
-            .map(|chunk| {
+            .enumerate()
+            .map(|(worker, chunk)| {
                 let mut acc = A::new(reference.len());
                 // Per-chunk scratch: the Pair-HMM planes and column arena
                 // are allocated once here and reused for every read in the
                 // worker's chunk.
                 let mut scratch = AlignScratch::new();
-                let mapped = accumulate_reads_with(&engine, chunk, &mut acc, &mut scratch);
+                let mapped = accumulate_reads_observed(
+                    &engine,
+                    chunk,
+                    &mut acc,
+                    &mut scratch,
+                    observer,
+                    worker,
+                );
                 (acc, mapped)
             })
             .collect()
     });
+    timer.finish(observer);
 
     // Deterministic fold in chunk order.
+    let timer = StageTimer::start(observer, Stage::Reduce);
     let mut iter = partials.into_iter();
     let (mut acc, mut mapped) = iter.next().unwrap_or_else(|| (A::new(reference.len()), 0));
     for (partial, m) in iter {
         acc.merge_from(&partial);
         mapped += m;
     }
+    timer.finish(observer);
 
+    let timer = StageTimer::start(observer, Stage::Call);
     let calls = call_snps(&acc, reference, &config.calling);
+    timer.finish(observer);
+    observer.emit(|| Event::RunEnd {
+        reads_processed: reads.len() as u64,
+        reads_mapped: mapped as u64,
+        calls: calls.len() as u64,
+        wall_secs: start.elapsed().as_secs_f64(),
+    });
     RunReport {
         calls,
         reads_processed: reads.len(),

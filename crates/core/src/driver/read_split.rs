@@ -16,12 +16,49 @@ use crate::accum::GenomeAccumulator;
 use crate::config::GnumapConfig;
 use crate::driver::{decode_calls, encode_calls, CallWireError};
 use crate::mapping::MappingEngine;
+use crate::observe::{Event, Observer, Stage, StageTimer};
 use crate::report::RunReport;
 use crate::snpcall::call_snps;
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
 use mpisim::World;
 use std::time::Instant;
+
+/// Map one rank's strided read share into `acc`, counting candidates and
+/// deposited columns, and emit one [`Event::Batch`] for the rank.
+fn map_rank_share<A: GenomeAccumulator>(
+    engine: &MappingEngine<'_>,
+    reads: &[SequencedRead],
+    acc: &mut A,
+    rank_id: usize,
+    rank_count: usize,
+    observer: &Observer,
+) -> usize {
+    let mut mapped = 0u64;
+    let (mut share, mut candidates, mut columns) = (0u64, 0u64, 0u64);
+    // One scratch arena per rank, reused across its whole read share.
+    let mut scratch = crate::mapping::AlignScratch::new();
+    for read in reads.iter().skip(rank_id).step_by(rank_count) {
+        share += 1;
+        engine.map_read_with(read, &mut scratch);
+        if !scratch.is_empty() {
+            mapped += 1;
+        }
+        for aln in scratch.alignments() {
+            candidates += 1;
+            columns += aln.columns.len() as u64;
+            crate::pipeline::deposit(acc, aln.window_start, aln.score, aln.columns);
+        }
+    }
+    observer.emit(|| Event::Batch {
+        worker: rank_id as u64,
+        reads: share,
+        mapped,
+        candidates,
+        deposited_columns: columns,
+    });
+    mapped as usize
+}
 
 /// Run the read-split decomposition on `ranks` simulated MPI ranks.
 pub fn run_read_split<A: GenomeAccumulator>(
@@ -30,33 +67,49 @@ pub fn run_read_split<A: GenomeAccumulator>(
     config: &GnumapConfig,
     ranks: usize,
 ) -> Result<RunReport, CallWireError> {
+    run_read_split_observed::<A>(reference, reads, config, ranks, &Observer::disabled())
+}
+
+/// [`run_read_split`] with structured observability: one
+/// [`Event::Batch`] per rank, with stage timings taken on rank 0 (every
+/// rank does the same index/map work, so rank 0 is representative).
+pub fn run_read_split_observed<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    ranks: usize,
+    observer: &Observer,
+) -> Result<RunReport, CallWireError> {
     assert!(ranks >= 1, "need at least one rank");
+    observer.emit(|| Event::RunStart {
+        driver: "read-split".into(),
+        accumulator: config.accumulator.name().into(),
+    });
     let start = Instant::now();
     let world = World::new(ranks);
 
     let (mut results, world_report) = world.run_with_report(|rank| {
+        let root = rank.id() == 0;
+        let stage = |s: Stage| root.then(|| StageTimer::start(observer, s));
+        let finish = |t: Option<StageTimer>| {
+            if let Some(t) = t {
+                t.finish(observer);
+            }
+        };
         // Every rank indexes the whole genome (the duplicated preprocessing
         // of the shared-genome mode).
+        let timer = stage(Stage::Index);
         let engine = MappingEngine::new(reference, config.mapping);
+        finish(timer);
         let mut acc = A::new(reference.len());
 
         // Strided read partition: rank r maps reads r, r+n, r+2n, ...
-        let my_reads: Vec<&SequencedRead> =
-            reads.iter().skip(rank.id()).step_by(rank.size()).collect();
-        let mut mapped = 0usize;
-        // One scratch arena per rank, reused across its whole read share.
-        let mut scratch = crate::mapping::AlignScratch::new();
-        for read in my_reads {
-            engine.map_read_with(read, &mut scratch);
-            if !scratch.is_empty() {
-                mapped += 1;
-            }
-            for aln in scratch.alignments() {
-                crate::pipeline::deposit(&mut acc, aln.window_start, aln.score, aln.columns);
-            }
-        }
+        let timer = stage(Stage::Map);
+        let mapped = map_rank_share(&engine, reads, &mut acc, rank.id(), rank.size(), observer);
+        finish(timer);
         // "Communicate the state of their genome": gather accumulator
         // wires at rank 0, which folds them in rank order.
+        let timer = stage(Stage::Reduce);
         let wires = rank.gather(0, acc.to_wire());
         let mapped_counts = rank.gather(0, mapped as u64);
         if rank.id() == 0 {
@@ -64,7 +117,10 @@ pub fn run_read_split<A: GenomeAccumulator>(
             for wire in wires.expect("root gathers") {
                 total_acc.merge_wire(&wire);
             }
+            finish(timer);
+            let timer = stage(Stage::Call);
             let calls = call_snps(&total_acc, reference, &config.calling);
+            finish(timer);
             let mapped_total: u64 = mapped_counts.expect("root gathers").iter().sum();
             Some((
                 encode_calls(&calls),
@@ -73,17 +129,26 @@ pub fn run_read_split<A: GenomeAccumulator>(
                 total_acc.digest(),
             ))
         } else {
+            finish(timer);
             None
         }
     });
 
     let (call_wire, mapped_total, acc_bytes, digest) =
         results.swap_remove(0).expect("rank 0 returns the result");
+    let calls = decode_calls(&call_wire)?;
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    observer.emit(|| Event::RunEnd {
+        reads_processed: reads.len() as u64,
+        reads_mapped: mapped_total,
+        calls: calls.len() as u64,
+        wall_secs: elapsed_secs,
+    });
     Ok(RunReport {
-        calls: decode_calls(&call_wire)?,
+        calls,
         reads_processed: reads.len(),
         reads_mapped: mapped_total as usize,
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs,
         accumulator_bytes: acc_bytes,
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,
@@ -106,32 +171,53 @@ pub fn run_read_split_ring(
     config: &GnumapConfig,
     ranks: usize,
 ) -> Result<RunReport, CallWireError> {
+    run_read_split_ring_observed(reference, reads, config, ranks, &Observer::disabled())
+}
+
+/// [`run_read_split_ring`] with structured observability (same event
+/// shape as [`run_read_split_observed`]).
+pub fn run_read_split_ring_observed(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    ranks: usize,
+    observer: &Observer,
+) -> Result<RunReport, CallWireError> {
     use crate::accum::NormAccumulator;
     assert!(ranks >= 1, "need at least one rank");
+    observer.emit(|| Event::RunStart {
+        driver: "read-split-ring".into(),
+        accumulator: crate::accum::AccumulatorMode::Norm.name().into(),
+    });
     let start = Instant::now();
     let world = World::new(ranks);
 
     let (mut results, world_report) = world.run_with_report(|rank| {
+        let root = rank.id() == 0;
+        let stage = |s: Stage| root.then(|| StageTimer::start(observer, s));
+        let finish = |t: Option<StageTimer>| {
+            if let Some(t) = t {
+                t.finish(observer);
+            }
+        };
+        let timer = stage(Stage::Index);
         let engine = MappingEngine::new(reference, config.mapping);
+        finish(timer);
         let mut acc = NormAccumulator::new(reference.len());
-        let mut mapped = 0usize;
-        let mut scratch = crate::mapping::AlignScratch::new();
-        for read in reads.iter().skip(rank.id()).step_by(rank.size()) {
-            engine.map_read_with(read, &mut scratch);
-            if !scratch.is_empty() {
-                mapped += 1;
-            }
-            for aln in scratch.alignments() {
-                crate::pipeline::deposit(&mut acc, aln.window_start, aln.score, aln.columns);
-            }
-        }
+        let timer = stage(Stage::Map);
+        let mapped = map_rank_share(&engine, reads, &mut acc, rank.id(), rank.size(), observer);
+        finish(timer);
         // Every rank ends up with the fully reduced accumulator.
+        let timer = stage(Stage::Reduce);
         let reduced = rank.ring_allreduce(acc.to_wire(), |a, b| a + b);
         let mapped_total = rank.allreduce(mapped as u64, |a, b| a + b);
+        finish(timer);
         if rank.id() == 0 {
             let mut total_acc = NormAccumulator::new(reference.len());
             total_acc.merge_wire(&reduced);
+            let timer = stage(Stage::Call);
             let calls = call_snps(&total_acc, reference, &config.calling);
+            finish(timer);
             Some((
                 encode_calls(&calls),
                 mapped_total,
@@ -145,11 +231,19 @@ pub fn run_read_split_ring(
 
     let (call_wire, mapped_total, acc_bytes, digest) =
         results.swap_remove(0).expect("rank 0 returns the result");
+    let calls = decode_calls(&call_wire)?;
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    observer.emit(|| Event::RunEnd {
+        reads_processed: reads.len() as u64,
+        reads_mapped: mapped_total,
+        calls: calls.len() as u64,
+        wall_secs: elapsed_secs,
+    });
     Ok(RunReport {
-        calls: decode_calls(&call_wire)?,
+        calls,
         reads_processed: reads.len(),
         reads_mapped: mapped_total as usize,
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs,
         accumulator_bytes: acc_bytes,
         traffic: Some(world_report.traffic),
         rank_cpu_secs: world_report.rank_cpu_secs,

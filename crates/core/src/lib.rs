@@ -26,6 +26,7 @@ pub mod config;
 pub mod driver;
 pub mod footprint;
 pub mod mapping;
+pub mod observe;
 pub mod pipeline;
 pub mod report;
 pub mod snpcall;
@@ -33,6 +34,7 @@ pub mod snpcall;
 pub use accum::{AccumulatorMode, GenomeAccumulator};
 pub use config::GnumapConfig;
 pub use mapping::{MappingConfig, MappingEngine, ReadAlignment};
+pub use observe::{Event, EventSink, Observer, Stage};
 pub use pipeline::run_pipeline;
 pub use report::{score_snp_calls, AccuracyReport, RunReport};
 pub use snpcall::{call_snps, SnpCall, SnpCallConfig};

@@ -5,15 +5,22 @@
 //! internally.
 
 use crate::accum::{
-    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, GenomeAccumulator, NormAccumulator,
+    AccumulatorMode, CentDiscAccumulator, CharDiscAccumulator, FixedAccumulator, GenomeAccumulator,
+    NormAccumulator,
 };
 use crate::config::GnumapConfig;
 use crate::mapping::{AlignScratch, MappingEngine};
+use crate::observe::{Event, Observer, Stage, StageTimer};
 use crate::report::RunReport;
 use crate::snpcall::call_snps;
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
 use std::time::Instant;
+
+/// Reads per [`Event::Batch`] when a driver without natural batching (the
+/// serial pipeline, the per-rank MPI loops) runs under an enabled
+/// observer.
+pub const OBSERVED_BATCH_READS: usize = 256;
 
 /// Map `reads` with `engine` and deposit their weighted evidence into
 /// `acc`. Returns the number of reads that produced at least one
@@ -50,6 +57,51 @@ pub fn accumulate_reads_with<A: GenomeAccumulator>(
     mapped
 }
 
+/// [`accumulate_reads_with`] plus per-batch [`Event::Batch`] emission.
+///
+/// When the observer is disabled this *is* the plain hot loop — same code
+/// path, no counters, no events — so instrumentation costs nothing unless
+/// a sink is attached. When enabled, reads are walked in
+/// [`OBSERVED_BATCH_READS`] slices (same read order, so deposit order and
+/// digests are unchanged) and each slice emits one event carrying read /
+/// mapped / candidate / deposited-column counts for `worker`.
+pub fn accumulate_reads_observed<A: GenomeAccumulator>(
+    engine: &MappingEngine<'_>,
+    reads: &[SequencedRead],
+    acc: &mut A,
+    scratch: &mut AlignScratch,
+    observer: &Observer,
+    worker: usize,
+) -> usize {
+    if !observer.is_enabled() {
+        return accumulate_reads_with(engine, reads, acc, scratch);
+    }
+    let mut mapped_total = 0usize;
+    for batch in reads.chunks(OBSERVED_BATCH_READS) {
+        let (mut mapped, mut candidates, mut columns) = (0u64, 0u64, 0u64);
+        for read in batch {
+            engine.map_read_with(read, scratch);
+            if !scratch.is_empty() {
+                mapped += 1;
+            }
+            for aln in scratch.alignments() {
+                candidates += 1;
+                columns += aln.columns.len() as u64;
+                deposit(acc, aln.window_start, aln.score, aln.columns);
+            }
+        }
+        observer.emit(|| Event::Batch {
+            worker: worker as u64,
+            reads: batch.len() as u64,
+            mapped,
+            candidates,
+            deposited_columns: columns,
+        });
+        mapped_total += mapped as usize;
+    }
+    mapped_total
+}
+
 /// Deposit one alignment's weighted columns into an accumulator, skipping
 /// columns beyond the accumulator's end.
 pub fn deposit<A: GenomeAccumulator>(
@@ -80,16 +132,48 @@ pub fn run_serial_with<A: GenomeAccumulator>(
     reads: &[SequencedRead],
     config: &GnumapConfig,
 ) -> RunReport {
+    run_serial_observed::<A>(reference, reads, config, &Observer::disabled())
+}
+
+/// [`run_serial_with`] with structured observability: per-stage wall/CPU
+/// timings, per-batch counters, and run start/end events.
+pub fn run_serial_observed<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    observer: &Observer,
+) -> RunReport {
+    observer.emit(|| Event::RunStart {
+        driver: "serial".into(),
+        accumulator: config.accumulator.name().into(),
+    });
     let start = Instant::now();
+    let timer = StageTimer::start(observer, Stage::Index);
     let engine = MappingEngine::new(reference, config.mapping);
+    timer.finish(observer);
+
     let mut acc = A::new(reference.len());
-    let mapped = accumulate_reads(&engine, reads, &mut acc);
+    let mut scratch = AlignScratch::new();
+    let timer = StageTimer::start(observer, Stage::Map);
+    let mapped = accumulate_reads_observed(&engine, reads, &mut acc, &mut scratch, observer, 0);
+    timer.finish(observer);
+
+    let timer = StageTimer::start(observer, Stage::Call);
     let calls = call_snps(&acc, reference, &config.calling);
+    timer.finish(observer);
+
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    observer.emit(|| Event::RunEnd {
+        reads_processed: reads.len() as u64,
+        reads_mapped: mapped as u64,
+        calls: calls.len() as u64,
+        wall_secs: elapsed_secs,
+    });
     RunReport {
         calls,
         reads_processed: reads.len(),
         reads_mapped: mapped,
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs,
         accumulator_bytes: acc.heap_bytes(),
         traffic: None,
         rank_cpu_secs: Vec::new(),
@@ -105,13 +189,28 @@ pub fn run_pipeline(
     reads: &[SequencedRead],
     config: &GnumapConfig,
 ) -> RunReport {
+    run_pipeline_observed(reference, reads, config, &Observer::disabled())
+}
+
+/// [`run_pipeline`] with an observer.
+pub fn run_pipeline_observed(
+    reference: &DnaSeq,
+    reads: &[SequencedRead],
+    config: &GnumapConfig,
+    observer: &Observer,
+) -> RunReport {
     match config.accumulator {
-        AccumulatorMode::Norm => run_serial_with::<NormAccumulator>(reference, reads, config),
+        AccumulatorMode::Norm => {
+            run_serial_observed::<NormAccumulator>(reference, reads, config, observer)
+        }
         AccumulatorMode::CharDisc => {
-            run_serial_with::<CharDiscAccumulator>(reference, reads, config)
+            run_serial_observed::<CharDiscAccumulator>(reference, reads, config, observer)
         }
         AccumulatorMode::CentDisc => {
-            run_serial_with::<CentDiscAccumulator>(reference, reads, config)
+            run_serial_observed::<CentDiscAccumulator>(reference, reads, config, observer)
+        }
+        AccumulatorMode::Fixed => {
+            run_serial_observed::<FixedAccumulator>(reference, reads, config, observer)
         }
     }
 }
@@ -222,6 +321,60 @@ pub(crate) mod tests {
             "α=0.05 on a clean genome should produce almost nothing: {}",
             report.calls.len()
         );
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_emits_events() {
+        use crate::observe::MemorySink;
+        use std::sync::Arc;
+        let (reference, _, reads) = fixture(3_000, 4, 10.0, 42);
+        let cfg = GnumapConfig::default();
+        let plain = run_serial_with::<FixedAccumulator>(&reference, &reads, &cfg);
+        let sink = Arc::new(MemorySink::new());
+        let observed = run_serial_observed::<FixedAccumulator>(
+            &reference,
+            &reads,
+            &cfg,
+            &Observer::new(sink.clone()),
+        );
+        assert_eq!(observed.accumulator_digest, plain.accumulator_digest);
+        assert_eq!(observed.reads_mapped, plain.reads_mapped);
+
+        let events = sink.take();
+        assert!(matches!(events.first(), Some(Event::RunStart { .. })));
+        assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+        for stage in [Stage::Index, Stage::Map, Stage::Call] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, Event::StageEnd { stage: s, .. } if *s == stage)),
+                "missing StageEnd for {stage:?}"
+            );
+        }
+        let batch_reads: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Batch { reads, .. } => Some(*reads),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(batch_reads, reads.len() as u64);
+    }
+
+    #[test]
+    fn fixed_mode_runs_through_run_pipeline() {
+        let (reference, truth, reads) = fixture(3_000, 4, 12.0, 9);
+        let report = run_pipeline(
+            &reference,
+            &reads,
+            &GnumapConfig {
+                accumulator: AccumulatorMode::Fixed,
+                ..GnumapConfig::default()
+            },
+        );
+        let acc = crate::report::score_snp_calls(&report.calls, &truth);
+        assert!(acc.true_positives >= 3, "{acc:?}");
+        assert_eq!(report.accumulator_bytes, 3_000 * 40);
     }
 
     #[test]

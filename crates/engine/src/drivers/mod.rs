@@ -1,0 +1,22 @@
+//! The seven driver adapters: one per execution mode.
+//!
+//! Each adapter is a unit struct implementing [`crate::Driver`] over the
+//! corresponding run function; it validates the context, dispatches on
+//! the accumulator mode, threads the observer through, and delivers the
+//! calls to the sink. No pipeline logic lives here.
+
+mod genome_split;
+mod rayon;
+mod read_split;
+mod ring;
+mod serial;
+mod server;
+mod stream;
+
+pub use genome_split::GenomeSplitDriver;
+pub use rayon::RayonDriver;
+pub use read_split::ReadSplitDriver;
+pub use ring::ReadSplitRingDriver;
+pub use serial::SerialDriver;
+pub use server::ServerDriver;
+pub use stream::StreamDriver;

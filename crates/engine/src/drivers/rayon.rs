@@ -1,0 +1,72 @@
+//! The shared-memory (rayon) driver.
+
+use crate::context::RunContext;
+use crate::contract::{check_preconditions, Capabilities, Driver};
+use crate::error::EngineError;
+use crate::sink::{deliver, CallSink};
+use crate::source::ReadSource;
+use gnumap_core::accum::{AccumulatorMode, FixedAccumulator, NormAccumulator};
+use gnumap_core::driver::rayon_driver::run_rayon_observed;
+use gnumap_core::report::RunReport;
+
+/// Chunk-per-worker threads with a deterministic chunk-ordered fold (the
+/// paper's shared-memory platform). The discretized accumulators' merges
+/// are order-sensitive, so only the norm and fixed-point layouts run
+/// here.
+pub struct RayonDriver;
+
+impl Driver for RayonDriver {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["threads", "shared"]
+    }
+
+    fn description(&self) -> &'static str {
+        "shared-memory worker threads, deterministic chunk-ordered reduction"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            accumulators: &[AccumulatorMode::Norm, AccumulatorMode::Fixed],
+            parallel: true,
+            streaming: false,
+            checkpointing: false,
+            bit_exact_parallel: true,
+        }
+    }
+
+    fn run(
+        &self,
+        ctx: &RunContext<'_>,
+        source: ReadSource<'_>,
+        sink: &mut dyn CallSink,
+    ) -> Result<RunReport, EngineError> {
+        check_preconditions(self, ctx)?;
+        let reads = source.collect()?;
+        // A one-thread budget still gets a pool of two: `--threads N`
+        // selecting this driver has always meant "actually parallel".
+        let threads = ctx.threads.max(2);
+        let report = match ctx.config.accumulator {
+            AccumulatorMode::Norm => run_rayon_observed::<NormAccumulator>(
+                ctx.reference,
+                &reads,
+                &ctx.config,
+                threads,
+                &ctx.observer,
+            ),
+            AccumulatorMode::Fixed => run_rayon_observed::<FixedAccumulator>(
+                ctx.reference,
+                &reads,
+                &ctx.config,
+                threads,
+                &ctx.observer,
+            ),
+            // check_preconditions already rejected everything else.
+            _ => unreachable!("mode filtered by capabilities"),
+        };
+        deliver(report, sink)
+    }
+}

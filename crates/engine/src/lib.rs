@@ -1,0 +1,41 @@
+//! Unified driver engine: one registry, one run contract.
+//!
+//! The pipeline grew six ways to execute the same map → accumulate → call
+//! algorithm — serial, shared-memory threads, two MPI decompositions, a
+//! ring-allreduce variant, a streaming batch engine, and a TCP daemon —
+//! each with its own entry-point signature and its own call sites in the
+//! CLI, the conformance matrix and the benchmarks. This crate collapses
+//! them onto a single contract:
+//!
+//! * [`Driver`] — `name()`, `capabilities()`, and
+//!   `run(&RunContext, ReadSource, &mut dyn CallSink) -> RunReport`;
+//! * [`RunContext`] — the reference genome, the [`gnumap_core::GnumapConfig`]
+//!   (including the accumulator layout), the workload seed, the
+//!   parallelism budget, the streaming shape, and an
+//!   [`gnumap_core::observe::Observer`] for structured events;
+//! * [`ReadSource`] / [`CallSink`] — reads in (slice or chunked stream),
+//!   calls out;
+//! * [`DriverRegistry`] — the single source of truth for driver names,
+//!   with aliases, typo suggestions, and a generated capability table.
+//!
+//! The adapters are behaviour-preserving wrappers over the original run
+//! functions: with the fixed-point accumulator, every driver resolved
+//! from the registry produces the same accumulator digest and the same
+//! bit-identical call wire as the serial reference (the ring variant,
+//! pinned to float summation, agrees semantically instead — its
+//! [`Capabilities::bit_exact_parallel`] says so).
+
+pub mod context;
+pub mod contract;
+pub mod drivers;
+pub mod error;
+pub mod registry;
+pub mod sink;
+pub mod source;
+
+pub use context::RunContext;
+pub use contract::{Capabilities, Driver};
+pub use error::EngineError;
+pub use registry::DriverRegistry;
+pub use sink::{CallSink, NullSink, VecSink};
+pub use source::ReadSource;

@@ -1,0 +1,77 @@
+//! Call sinks: where a run's SNP calls are delivered.
+
+use crate::error::EngineError;
+use gnumap_core::SnpCall;
+
+/// Receives the finished call set exactly once, at the end of a run.
+///
+/// The calls also remain in the returned
+/// [`gnumap_core::report::RunReport`]; the sink exists so callers that
+/// stream results elsewhere (a VCF writer, a wire encoder) plug into the
+/// same run contract without post-processing the report.
+pub trait CallSink {
+    /// Accept the run's calls. Returning `Err` fails the run with
+    /// [`EngineError::Sink`].
+    fn accept(&mut self, calls: &[SnpCall]) -> Result<(), String>;
+}
+
+/// Discards the calls (callers that only want the report).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl CallSink for NullSink {
+    fn accept(&mut self, _calls: &[SnpCall]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Collects the calls into an owned vector.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// Calls accepted so far.
+    pub calls: Vec<SnpCall>,
+}
+
+impl CallSink for VecSink {
+    fn accept(&mut self, calls: &[SnpCall]) -> Result<(), String> {
+        self.calls.extend_from_slice(calls);
+        Ok(())
+    }
+}
+
+/// Deliver a finished report's calls to the sink, mapping sink failures
+/// into [`EngineError::Sink`]. Every driver adapter funnels through this.
+pub(crate) fn deliver(
+    report: gnumap_core::report::RunReport,
+    sink: &mut dyn CallSink,
+) -> Result<gnumap_core::report::RunReport, EngineError> {
+    sink.accept(&report.calls).map_err(EngineError::Sink)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::alphabet::Base;
+
+    fn call(pos: usize) -> SnpCall {
+        SnpCall {
+            pos,
+            reference: Base::A,
+            allele: Base::G,
+            second_allele: None,
+            statistic: 10.0,
+            p_adjusted: 1e-4,
+            counts: [0.0; 5],
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_and_null_sink_discards() {
+        let calls = vec![call(3), call(9)];
+        let mut v = VecSink::default();
+        v.accept(&calls).unwrap();
+        assert_eq!(v.calls.len(), 2);
+        NullSink.accept(&calls).unwrap();
+    }
+}

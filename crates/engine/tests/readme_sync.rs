@@ -1,0 +1,34 @@
+//! The README's driver matrix is generated from the registry (`gnumap
+//! drivers`); this test keeps the two in lockstep so registering,
+//! renaming, or re-capability-ing a driver cannot leave the docs stale.
+
+use engine::DriverRegistry;
+
+#[test]
+fn readme_driver_table_matches_the_registry() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("README.md at the workspace root");
+
+    let start = "<!-- registry-driver-table:start";
+    let end = "<!-- registry-driver-table:end -->";
+    let begin = readme
+        .find(start)
+        .expect("README is missing the registry-driver-table start marker");
+    let begin = readme[begin..]
+        .find('\n')
+        .map(|i| begin + i + 1)
+        .expect("start marker has no line end");
+    let stop = readme[begin..]
+        .find(end)
+        .map(|i| begin + i)
+        .expect("README is missing the registry-driver-table end marker");
+
+    let in_readme = readme[begin..stop].trim();
+    let generated = DriverRegistry::standard().driver_table();
+    assert_eq!(
+        in_readme,
+        generated.trim(),
+        "README driver table is stale — replace the block between the \
+         registry-driver-table markers with the output of `gnumap drivers`"
+    );
+}

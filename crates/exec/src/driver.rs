@@ -41,6 +41,7 @@ use crossbeam::utils::Backoff;
 use genome::read::SequencedRead;
 use genome::seq::DnaSeq;
 use gnumap_core::accum::GenomeAccumulator;
+use gnumap_core::observe::{Event, Observer, Stage, StageTimer};
 use gnumap_core::report::{RunReport, StreamStats};
 use gnumap_core::snpcall::call_snps;
 use gnumap_core::{GnumapConfig, MappingEngine};
@@ -122,9 +123,28 @@ pub fn run_stream<A: GenomeAccumulator>(
     config: &GnumapConfig,
     sc: &StreamConfig,
 ) -> Result<RunReport, ExecError> {
+    run_stream_observed::<A>(reference, stream, config, sc, &Observer::disabled())
+}
+
+/// [`run_stream`] with structured observability: one [`Event::Batch`] per
+/// stolen micro-batch (tagged with the stealing worker's index), an
+/// [`Event::Checkpoint`] for every checkpoint record written, and stage
+/// timings taken on the scheduler thread. The disabled-observer path is
+/// the exact un-instrumented worker loop.
+pub fn run_stream_observed<A: GenomeAccumulator>(
+    reference: &DnaSeq,
+    stream: &mut dyn ReadStream,
+    config: &GnumapConfig,
+    sc: &StreamConfig,
+    observer: &Observer,
+) -> Result<RunReport, ExecError> {
     assert!(sc.workers >= 1, "need at least one worker");
     assert!(sc.batch_size >= 1, "batches must hold at least one read");
     assert!(sc.chunk_size >= 1, "chunks must hold at least one read");
+    observer.emit(|| Event::RunStart {
+        driver: "stream".into(),
+        accumulator: config.accumulator.name().into(),
+    });
     let start = Instant::now();
 
     // ---- resume --------------------------------------------------------
@@ -152,7 +172,9 @@ pub fn run_stream<A: GenomeAccumulator>(
         }
     }
 
+    let timer = StageTimer::start(observer, Stage::Index);
     let engine = MappingEngine::new(reference, config.mapping);
+    timer.finish(observer);
     let window_reads = sc.workers * sc.batches_per_worker * sc.batch_size;
 
     // ---- plumbing ------------------------------------------------------
@@ -173,6 +195,7 @@ pub fn run_stream<A: GenomeAccumulator>(
     let mut batches_since_checkpoint = 0usize;
     let mut aborted = false;
 
+    let map_timer = StageTimer::start(observer, Stage::Map);
     let worker_outcomes = std::thread::scope(|scope| -> Result<Vec<(f64, f64)>, ExecError> {
         // Source thread: chunk the stream into the bounded channel. It
         // owns the only sender, so the channel disconnects (and the
@@ -202,8 +225,13 @@ pub fn run_stream<A: GenomeAccumulator>(
 
         // Worker pool: steal batches, map, deposit.
         let workers: Vec<_> = (0..sc.workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker_index| {
+                let injector = &injector;
+                let shutdown = &shutdown;
+                let sharded = &sharded;
+                let engine = &engine;
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
                     let cpu = ThreadCpuTimer::start();
                     let mut stall = Duration::ZERO;
                     let mut backoff = Backoff::new();
@@ -215,13 +243,43 @@ pub fn run_stream<A: GenomeAccumulator>(
                             Steal::Success(batch) => {
                                 backoff.reset();
                                 let mut mapped = 0usize;
-                                for read in &batch.reads {
-                                    engine.map_read_with(read, &mut scratch);
-                                    if !scratch.is_empty() {
-                                        mapped += 1;
+                                if observer.is_enabled() {
+                                    let (mut candidates, mut columns) = (0u64, 0u64);
+                                    for read in &batch.reads {
+                                        engine.map_read_with(read, &mut scratch);
+                                        if !scratch.is_empty() {
+                                            mapped += 1;
+                                        }
+                                        for aln in scratch.alignments() {
+                                            candidates += 1;
+                                            columns += aln.columns.len() as u64;
+                                            sharded.deposit(
+                                                aln.window_start,
+                                                aln.score,
+                                                aln.columns,
+                                            );
+                                        }
                                     }
-                                    for aln in scratch.alignments() {
-                                        sharded.deposit(aln.window_start, aln.score, aln.columns);
+                                    observer.emit(|| Event::Batch {
+                                        worker: worker_index as u64,
+                                        reads: batch.reads.len() as u64,
+                                        mapped: mapped as u64,
+                                        candidates,
+                                        deposited_columns: columns,
+                                    });
+                                } else {
+                                    for read in &batch.reads {
+                                        engine.map_read_with(read, &mut scratch);
+                                        if !scratch.is_empty() {
+                                            mapped += 1;
+                                        }
+                                        for aln in scratch.alignments() {
+                                            sharded.deposit(
+                                                aln.window_start,
+                                                aln.score,
+                                                aln.columns,
+                                            );
+                                        }
                                     }
                                 }
                                 let _ = done_tx.send(BatchDone {
@@ -313,6 +371,10 @@ pub fn run_stream<A: GenomeAccumulator>(
                     )?;
                     checkpoints_written += 1;
                     batches_since_checkpoint = 0;
+                    observer.emit(|| Event::Checkpoint {
+                        cursor: cursor as u64,
+                        reads_mapped: mapped_total as u64,
+                    });
                 }
             }
 
@@ -336,6 +398,7 @@ pub fn run_stream<A: GenomeAccumulator>(
         }
         Ok(outcomes)
     })?;
+    map_timer.finish(observer);
 
     if let Some(e) = source_error.into_inner() {
         return Err(e);
@@ -369,12 +432,21 @@ pub fn run_stream<A: GenomeAccumulator>(
 
     let accumulator_bytes = sharded.heap_bytes();
     let full = sharded.into_full();
+    let timer = StageTimer::start(observer, Stage::Call);
     let calls = call_snps(&full, reference, &config.calling);
+    timer.finish(observer);
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    observer.emit(|| Event::RunEnd {
+        reads_processed: cursor as u64,
+        reads_mapped: mapped_total as u64,
+        calls: calls.len() as u64,
+        wall_secs: elapsed_secs,
+    });
     Ok(RunReport {
         calls,
         reads_processed: cursor,
         reads_mapped: mapped_total,
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs,
         accumulator_bytes,
         traffic: None,
         rank_cpu_secs,
@@ -486,6 +558,69 @@ mod tests {
             );
             assert_eq!(r.reads_mapped, baseline.reads_mapped);
         }
+    }
+
+    #[test]
+    fn observed_stream_emits_batches_and_checkpoints() {
+        use gnumap_core::observe::MemorySink;
+        use std::sync::Arc;
+        let (genome, reads) = tiny_workload();
+        let cfg = GnumapConfig::default();
+        let plain = {
+            let mut s = MemoryStream::new(reads.clone());
+            run_stream::<FixedAccumulator>(&genome, &mut s, &cfg, &StreamConfig::default()).unwrap()
+        };
+        let dir = std::env::temp_dir().join(format!("gnumap-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc = StreamConfig {
+            workers: 2,
+            batch_size: 16,
+            chunk_size: 32,
+            checkpoint: Some(CheckpointPolicy {
+                path: dir.join("cp.bin"),
+                every_batches: 2,
+                resume: false,
+            }),
+            ..Default::default()
+        };
+        let sink = Arc::new(MemorySink::new());
+        let mut s = MemoryStream::new(reads.clone());
+        let observed = run_stream_observed::<FixedAccumulator>(
+            &genome,
+            &mut s,
+            &cfg,
+            &sc,
+            &Observer::new(sink.clone()),
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(observed.accumulator_digest, plain.accumulator_digest);
+
+        let events = sink.take();
+        let batch_reads: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Batch { reads, .. } => Some(*reads),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(batch_reads, reads.len() as u64);
+        let checkpoints = events
+            .iter()
+            .filter(|e| matches!(e, Event::Checkpoint { .. }))
+            .count();
+        assert_eq!(
+            checkpoints,
+            observed.stream.as_ref().unwrap().checkpoints_written
+        );
+        assert!(checkpoints > 0, "expected at least one checkpoint event");
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::StageEnd {
+                stage: Stage::Map,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -9,25 +9,44 @@
 //! (one `#[test]` only) cannot interfere with other tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// Only the measuring thread's allocations are counted: libtest spawns
+// helper threads (output capture, timers) that may allocate mid-window,
+// and a `Cell<bool>` TLS slot is const-initialized and destructor-free,
+// so reading it inside the allocator cannot recurse.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn on_measuring_thread() -> bool {
+    COUNTING.with(|c| c.get())
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if on_measuring_thread() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if on_measuring_thread() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if on_measuring_thread() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -39,7 +58,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
+/// Read the counter, arming counting for the calling thread — the first
+/// call opens the measurement window, the second closes it.
 fn allocation_count() -> u64 {
+    COUNTING.with(|c| c.set(true));
     ALLOC_CALLS.load(Ordering::Relaxed)
 }
 

@@ -27,6 +27,10 @@ pub struct StatsSnapshot {
     pub reads_processed: u64,
     /// Processed reads that produced at least one alignment.
     pub reads_mapped: u64,
+    /// Candidate alignments scored by the Pair-HMM.
+    pub candidates_evaluated: u64,
+    /// Posterior columns deposited into session accumulators.
+    pub deposit_columns: u64,
     /// Micro-batches handed to the worker pool.
     pub batches_dispatched: u64,
     /// Batches that mixed reads from more than one session.
@@ -66,6 +70,8 @@ pub struct Metrics {
     pub(crate) reads_accepted: AtomicU64,
     pub(crate) reads_processed: AtomicU64,
     pub(crate) reads_mapped: AtomicU64,
+    pub(crate) candidates_evaluated: AtomicU64,
+    pub(crate) deposit_columns: AtomicU64,
     pub(crate) batches_dispatched: AtomicU64,
     pub(crate) batch_reads: AtomicU64,
     pub(crate) batch_sessions: AtomicU64,
@@ -86,6 +92,8 @@ impl Metrics {
             reads_accepted: AtomicU64::new(0),
             reads_processed: AtomicU64::new(0),
             reads_mapped: AtomicU64::new(0),
+            candidates_evaluated: AtomicU64::new(0),
+            deposit_columns: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
             batch_reads: AtomicU64::new(0),
             batch_sessions: AtomicU64::new(0),
@@ -155,6 +163,8 @@ impl Metrics {
             reads_accepted: self.reads_accepted.load(Ordering::Relaxed),
             reads_processed: self.reads_processed.load(Ordering::Relaxed),
             reads_mapped: self.reads_mapped.load(Ordering::Relaxed),
+            candidates_evaluated: self.candidates_evaluated.load(Ordering::Relaxed),
+            deposit_columns: self.deposit_columns.load(Ordering::Relaxed),
             batches_dispatched: batches,
             cross_session_batches: self.cross_session_batches.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),

@@ -601,10 +601,13 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
         if let Some(delay) = shared.cfg.worker_delay {
             thread::sleep(delay);
         }
+        let (mut candidates, mut columns) = (0u64, 0u64);
         for item in batch.items {
             engine.map_read_with(&item.read, &mut scratch);
             let mapped = !scratch.is_empty();
             for aln in scratch.alignments() {
+                candidates += 1;
+                columns += aln.columns.len() as u64;
                 item.session
                     .deposit(aln.window_start, aln.score, aln.columns);
             }
@@ -620,6 +623,14 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
                 .metrics
                 .observe_latency_micros(item.enqueued.elapsed().as_micros() as u64);
         }
+        shared
+            .metrics
+            .candidates_evaluated
+            .fetch_add(candidates, Ordering::Relaxed);
+        shared
+            .metrics
+            .deposit_columns
+            .fetch_add(columns, Ordering::Relaxed);
         shared
             .metrics
             .publish_worker_cpu(worker_id, timer.elapsed());

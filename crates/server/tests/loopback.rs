@@ -158,6 +158,16 @@ fn concurrent_sessions_match_serial_driver() {
         stats.cross_session_batches > 0,
         "concurrent sessions must share batches"
     );
+    assert!(
+        stats.candidates_evaluated >= stats.reads_mapped,
+        "every mapped read scores at least one candidate: {} < {}",
+        stats.candidates_evaluated,
+        stats.reads_mapped
+    );
+    assert!(
+        stats.deposit_columns > 0,
+        "mapped reads must deposit posterior columns"
+    );
 
     handle.shutdown();
     let last = handle.join();

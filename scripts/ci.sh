@@ -16,6 +16,13 @@ echo "==> cargo clippy (pairhmm hot-loop lints)"
 cargo clippy -p pairhmm --all-targets -- \
     -D clippy::needless_range_loop -D clippy::large_stack_arrays
 
+echo "==> cargo clippy + fmt (engine contract crate)"
+# The contract crate is the one surface every caller depends on; hold it
+# to warnings-as-errors on its own (fast signal even when the workspace
+# pass is skipped) and keep it formatted.
+cargo fmt -p engine -- --check
+cargo clippy -p engine --all-targets -- -D warnings
+
 echo "==> tier-1: build + test"
 cargo build --release
 cargo test -q
@@ -25,6 +32,28 @@ cargo test -q --workspace
 
 echo "==> conformance gate: gnumap verify --fast"
 target/release/gnumap verify --fast
+
+echo "==> trace smoke: --trace-json through the registry drivers"
+trace_dir="target/trace-smoke"
+rm -rf "$trace_dir"
+mkdir -p "$trace_dir"
+target/release/gnumap simulate --out-dir "$trace_dir" \
+    --genome-len 8000 --snps 6 --coverage 6 --seed 1109 >/dev/null
+target/release/gnumap drivers | grep -q '`serial`' || {
+    echo "gnumap drivers does not list the serial driver"; exit 1;
+}
+for driver in serial rayon stream; do
+    target/release/gnumap call --reference "$trace_dir/reference.fa" \
+        --reads "$trace_dir/reads.fq" --out "$trace_dir/$driver.vcf" \
+        --driver "$driver" --trace-json "$trace_dir/$driver.trace.jsonl" \
+        >/dev/null
+    target/release/gnumap trace-check --trace "$trace_dir/$driver.trace.jsonl" \
+        >/dev/null || {
+        echo "trace-check rejected the $driver trace:"
+        cat "$trace_dir/$driver.trace.jsonl"
+        exit 1
+    }
+done
 
 echo "==> serve smoke: loopback server round trip + clean drain"
 smoke_dir="target/serve-smoke"

@@ -111,6 +111,11 @@ pub trait ParallelIterator: Sized {
         Map { base: self, f }
     }
 
+    /// Pair every item with its ordinal position.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
     /// Gather results in item order.
     fn collect<C>(self) -> C
     where
@@ -165,6 +170,27 @@ where
                 .flat_map(|h| h.join().expect("parallel map worker panicked"))
                 .collect()
         })
+    }
+}
+
+/// An enumerated parallel iterator (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: ParallelIterator,
+    B::Item: Send,
+{
+    type Item = (usize, B::Item);
+
+    fn into_ordered_results(self) -> Vec<(usize, B::Item)> {
+        self.base
+            .into_ordered_results()
+            .into_iter()
+            .enumerate()
+            .collect()
     }
 }
 
@@ -229,6 +255,17 @@ mod tests {
         // At least one worker thread ran (scoped threads are real even
         // on a single-core host).
         assert!(!ids.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn enumerate_pairs_chunks_with_ordinals() {
+        let data: Vec<u64> = (0..23).collect();
+        let out: Vec<(usize, usize)> = data
+            .par_chunks(6)
+            .enumerate()
+            .map(|(i, c)| (i, c.len()))
+            .collect();
+        assert_eq!(out, vec![(0, 6), (1, 6), (2, 6), (3, 5)]);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! `gnumap simulate` — synthetic genome, reads, and truth set.
+
+use super::Args;
+use genome::{fasta, fastq};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simulate::reads::{simulate_reads, ReadSimConfig, ReadSource};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+pub(super) fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let out_dir = PathBuf::from(args.require("out-dir")?);
+    let genome_len: usize = args.get("genome-len", 100_000usize)?;
+    let snps: usize = args.get("snps", 20usize)?;
+    let coverage: f64 = args.get("coverage", 12.0f64)?;
+    let seed: u64 = args.get("seed", 42u64)?;
+    let read_len: usize = args.get("read-len", 62usize)?;
+    let diploid = args.flag("diploid");
+    args.reject_unknown()?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("{out_dir:?}: {e}"))?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let reference = simulate::generate_genome(
+        &simulate::GenomeConfig {
+            length: genome_len,
+            repeat_families: (genome_len / 25_000).max(1),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let catalog = simulate::generate_snp_catalog(
+        &reference,
+        &simulate::SnpCatalogConfig {
+            count: snps,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let read_cfg = ReadSimConfig {
+        read_length: read_len,
+        coverage,
+        ..Default::default()
+    };
+    let count = read_cfg.read_count(genome_len);
+    let reads: Vec<_> = if diploid {
+        let individual = simulate::apply_snps_diploid(&reference, &catalog, &mut rng);
+        simulate_reads(
+            &ReadSource::Diploid(&individual),
+            count,
+            &read_cfg,
+            &mut rng,
+        )
+    } else {
+        let individual = simulate::apply_snps_monoploid(&reference, &catalog);
+        simulate_reads(
+            &ReadSource::Monoploid(&individual),
+            count,
+            &read_cfg,
+            &mut rng,
+        )
+    }
+    .into_iter()
+    .map(|r| r.read)
+    .collect();
+
+    let write_file = |name: &str, f: &dyn Fn(&mut BufWriter<File>) -> Result<(), String>| {
+        let path = out_dir.join(name);
+        let mut w = BufWriter::new(File::create(&path).map_err(|e| format!("{path:?}: {e}"))?);
+        f(&mut w)?;
+        Ok::<PathBuf, String>(path)
+    };
+    let fa = write_file("reference.fa", &|w| {
+        fasta::write_fasta(
+            w,
+            &[fasta::FastaRecord {
+                id: "chrSim".into(),
+                seq: reference.clone(),
+            }],
+            70,
+        )
+        .map_err(|e| e.to_string())
+    })?;
+    let fq = write_file("reads.fq", &|w| {
+        fastq::write_fastq(w, &reads).map_err(|e| e.to_string())
+    })?;
+    let truth = write_file("truth.tsv", &|w| {
+        writeln!(w, "#pos\tref\talt\tzygosity").map_err(|e| e.to_string())?;
+        for s in &catalog {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}",
+                s.pos,
+                s.reference,
+                s.alt,
+                match s.zygosity {
+                    simulate::Zygosity::Homozygous => "hom",
+                    simulate::Zygosity::Heterozygous => "het",
+                }
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    })?;
+    writeln!(
+        out,
+        "wrote {} ({} bp), {} ({} reads), {} ({} SNPs)",
+        fa.display(),
+        genome_len,
+        fq.display(),
+        reads.len(),
+        truth.display(),
+        catalog.len()
+    )
+    .map_err(|e| e.to_string())
+}

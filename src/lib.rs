@@ -16,6 +16,8 @@
 //! * [`simulate`] — genome/SNP/read simulators;
 //! * [`mpisim`] — the thread-backed message-passing runtime;
 //! * [`core`] — the assembled pipeline, accumulators and drivers;
+//! * [`engine`] — the driver registry and the one run contract every
+//!   execution mode implements;
 //! * [`baseline`] — the MAQ-style comparison caller.
 //!
 //! ## Quickstart
@@ -54,12 +56,14 @@ pub mod cli;
 
 pub use baseline;
 pub use conformance;
+pub use engine;
 pub use exec;
 pub use genome;
 pub use gnumap_core as core;
 pub use gnumap_stats as stats;
 pub use mpisim;
 pub use pairhmm;
+pub use server;
 pub use simulate;
 
 /// Commonly used items in one import.
